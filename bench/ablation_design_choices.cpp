@@ -1,0 +1,149 @@
+// Ablations for the design choices DESIGN.md §6 calls out:
+//   A. matching engine: min-cost flow vs greedy earliest-greenest-fit
+//      (solution quality and planning cost);
+//   B. activation hysteresis: dwell 0 / 2 / 6 slots (tracking lag vs
+//      spin cycling);
+//   C. forecast-noise sensitivity: relative error 0–30%;
+//   D. fidelity gap: slot-level vs event-level energy agreement.
+
+#include "bench_support.hpp"
+
+using namespace gm;
+
+namespace {
+
+core::ExperimentConfig base() {
+  auto config = bench::canonical_config();
+  config.panel_area_m2 = bench::kInsufficientPanelM2;
+  config.battery = energy::BatteryConfig::lithium_ion(kwh_to_j(40));
+  config.policy.kind = core::PolicyKind::kGreenMatch;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablations", "design-choice studies (DESIGN.md §6)");
+
+  {
+    std::cout << "A. matching engine (40 kWh battery):\n";
+    TextTable t({"solver", "brown kWh", "misses", "plan time ms",
+                 "migrations"});
+    struct Solver {
+      std::string label;
+      core::PolicyKind kind;
+      bool battery_aware;
+    };
+    for (const auto& solver :
+         {Solver{"flow", core::PolicyKind::kGreenMatch, false},
+          Solver{"flow+battery-chain", core::PolicyKind::kGreenMatch,
+                 true},
+          Solver{"greedy", core::PolicyKind::kGreenMatchGreedy, false}}) {
+      auto config = base();
+      config.policy.kind = solver.kind;
+      config.policy.battery_aware = solver.battery_aware;
+      const auto r = bench::run(config);
+      t.add_row({solver.label, bench::fmt(r.brown_kwh()),
+                 std::to_string(r.qos.deadline_misses),
+                 bench::fmt(r.scheduler.plan_solve_ms_total, 1),
+                 std::to_string(r.scheduler.task_migrations)});
+      bench::csv_row({"solver", solver.label,
+                      bench::fmt(r.brown_kwh(), 4),
+                      bench::fmt(r.scheduler.plan_solve_ms_total, 2)});
+    }
+    t.print(std::cout);
+  }
+
+  {
+    std::cout << "\nB. activation hysteresis (dwell in slots):\n";
+    TextTable t({"dwell", "brown kWh", "power cycles", "migrations"});
+    for (int dwell : {0, 1, 2, 4, 6}) {
+      auto config = base();
+      config.min_dwell_slots = dwell;
+      const auto r = bench::run(config);
+      t.add_row({std::to_string(dwell), bench::fmt(r.brown_kwh()),
+                 std::to_string(r.scheduler.node_power_ons +
+                                r.scheduler.node_power_offs),
+                 std::to_string(r.scheduler.task_migrations)});
+      bench::csv_row({"dwell", std::to_string(dwell),
+                      bench::fmt(r.brown_kwh(), 4)});
+    }
+    t.print(std::cout);
+  }
+
+  {
+    std::cout << "\nC. forecast-noise sensitivity (error at 1 h lead):\n";
+    TextTable t({"noise", "brown kWh", "curtailed kWh", "misses"});
+    for (double err : {0.0, 0.05, 0.15, 0.30}) {
+      auto config = base();
+      config.noisy_forecast = err > 0.0;
+      config.forecast_noise.error_at_1h = err;
+      const auto r = bench::run(config);
+      t.add_row({TextTable::percent(err, 0), bench::fmt(r.brown_kwh()),
+                 bench::fmt(r.curtailed_kwh()),
+                 std::to_string(r.qos.deadline_misses)});
+      bench::csv_row({"noise", bench::fmt(err, 2),
+                      bench::fmt(r.brown_kwh(), 4)});
+    }
+    t.print(std::cout);
+  }
+
+  {
+    std::cout << "\nE. DVFS eco frequency for grid-powered task runs:\n";
+    TextTable t({"eco speed", "brown kWh", "sojourn h", "misses"});
+    for (double speed : {1.0, 0.85, 0.7, 0.55}) {
+      auto config = base();
+      config.dvfs_eco_speed = speed;
+      const auto r = bench::run(config);
+      t.add_row({bench::fmt(speed), bench::fmt(r.brown_kwh()),
+                 bench::fmt(r.qos.mean_task_sojourn_h, 1),
+                 std::to_string(r.qos.deadline_misses)});
+      bench::csv_row({"dvfs", bench::fmt(speed, 2),
+                      bench::fmt(r.brown_kwh(), 4)});
+    }
+    t.print(std::cout);
+  }
+
+  {
+    std::cout << "\nF. MAID per-disk spin-down on idle active nodes:\n";
+    TextTable t({"maid", "brown kWh", "demand kWh", "transition kWh",
+                 "misses"});
+    for (bool maid : {false, true}) {
+      auto config = base();
+      config.maid_enabled = maid;
+      const auto r = bench::run(config);
+      t.add_row({maid ? "on" : "off", bench::fmt(r.brown_kwh()),
+                 bench::fmt(r.demand_kwh()),
+                 bench::fmt(j_to_kwh(r.energy.overhead_transition_j)),
+                 std::to_string(r.qos.deadline_misses)});
+      bench::csv_row({"maid", maid ? "on" : "off",
+                      bench::fmt(r.brown_kwh(), 4)});
+    }
+    t.print(std::cout);
+  }
+
+  {
+    std::cout << "\nD. fidelity gap (same config, both modes):\n";
+    TextTable t({"fidelity", "demand kWh", "brown kWh", "runtime info"});
+    for (auto fidelity :
+         {core::Fidelity::kSlotLevel, core::Fidelity::kEventLevel}) {
+      auto config = base();
+      config.fidelity = fidelity;
+      const auto r = bench::run(config);
+      t.add_row({fidelity == core::Fidelity::kSlotLevel ? "slot"
+                                                        : "event",
+                 bench::fmt(r.demand_kwh()), bench::fmt(r.brown_kwh()),
+                 fidelity == core::Fidelity::kEventLevel
+                     ? std::to_string(r.qos.foreground_requests) +
+                           " requests routed"
+                     : "aggregate only"});
+      bench::csv_row({"fidelity",
+                      fidelity == core::Fidelity::kSlotLevel ? "slot"
+                                                             : "event",
+                      bench::fmt(r.demand_kwh(), 4),
+                      bench::fmt(r.brown_kwh(), 4)});
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

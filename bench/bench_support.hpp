@@ -1,0 +1,77 @@
+#pragma once
+// Shared helpers for the reproduction bench binaries. Every bench is a
+// no-argument executable that prints its exhibit as an aligned table
+// (and a `csv:`-prefixed machine-readable block) so `for b in
+// build/bench/*; do $b; done` regenerates the whole evaluation.
+
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/engine.hpp"
+#include "util/table.hpp"
+
+namespace gm::bench {
+
+/// The canonical evaluation setup from DESIGN.md §4 (workload W1,
+/// supply S1): one week, 64-node cluster, June solar, LI battery.
+inline core::ExperimentConfig canonical_config() {
+  return core::ExperimentConfig::canonical();
+}
+
+/// Panel area at which fig4 finds the workload fully green-coverable
+/// with an ideal battery (kept as the shared "sufficient solar" size).
+inline constexpr double kSufficientPanelM2 = 320.0;
+/// The "insufficient solar" size used by fig6–fig8 (supply < demand).
+inline constexpr double kInsufficientPanelM2 = 120.0;
+
+/// Generates (once) and caches the workload trace for a spec, so a
+/// sweep of N runs does not regenerate N identical traces.
+inline std::shared_ptr<const workload::Workload> shared_workload(
+    const workload::WorkloadSpec& spec, std::uint32_t group_count) {
+  static std::map<std::pair<std::uint64_t, std::uint32_t>,
+                  std::shared_ptr<const workload::Workload>>
+      cache;
+  const auto key = std::make_pair(spec.fingerprint(), group_count);
+  auto& slot = cache[key];
+  if (!slot)
+    slot = std::make_shared<const workload::Workload>(
+        workload::generate_workload(spec, group_count));
+  return slot;
+}
+
+/// Attaches the cached trace for config.workload to the config.
+inline void use_shared_workload(core::ExperimentConfig& config) {
+  config.preset_workload = shared_workload(
+      config.workload, config.cluster.placement.group_count);
+}
+
+/// Runs and returns just the result (ledger dropped).
+inline metrics::RunResult run(core::ExperimentConfig config) {
+  use_shared_workload(config);
+  return core::run_experiment(config).result;
+}
+
+inline void print_header(const std::string& exhibit,
+                         const std::string& caption) {
+  std::cout << "==== " << exhibit << " — " << caption << " ====\n\n";
+}
+
+/// Emits a csv block (one `csv:`-prefixed line per row) for plotting.
+inline void csv_row(std::initializer_list<std::string> fields) {
+  std::cout << "csv:";
+  bool first = true;
+  for (const auto& f : fields) {
+    if (!first) std::cout << ',';
+    std::cout << f;
+    first = false;
+  }
+  std::cout << '\n';
+}
+
+inline std::string fmt(double v, int precision = 2) {
+  return TextTable::num(v, precision);
+}
+
+}  // namespace gm::bench

@@ -1,0 +1,81 @@
+// R-Fig-11 (extension): follow-the-sun federation — the geographic
+// scheduling the lineage's introduction motivates but a single data
+// center cannot do. Three staggered sites (UTC+0/+8/−8) and one
+// asymmetric pair (a site with no local renewables + a well-provisioned
+// one), with the task-routing broker on and off.
+
+#include "bench_support.hpp"
+#include "federation/federation.hpp"
+
+using namespace gm;
+
+namespace {
+
+core::ExperimentConfig site_base() {
+  auto config = bench::canonical_config();
+  config.cluster.racks = 2;
+  config.cluster.nodes_per_rack = 16;
+  config.cluster.placement.group_count = 256;
+  config.workload = workload::WorkloadSpec::canonical(7, 21);
+  // Halve per-site volume: three sites together ≈ one canonical DC.
+  for (auto& c : config.workload.task_classes) c.mean_per_day *= 0.5;
+  config.workload.foreground.base_rate_per_s = 2.0;
+  config.panel_area_m2 = 80.0;
+  config.battery = energy::BatteryConfig::lithium_ion(kwh_to_j(20));
+  return config;
+}
+
+void report(const std::string& label,
+            const federation::FederationResult& r) {
+  std::cout << label << ": grid " << bench::fmt(r.total_grid_kwh())
+            << " kWh (brown " << bench::fmt(r.total_brown_kwh())
+            << " + WAN " << bench::fmt(j_to_kwh(r.wan_energy_j))
+            << "), curtailed " << bench::fmt(r.total_curtailed_kwh())
+            << " kWh, moved " << r.tasks_moved << " tasks, misses "
+            << r.total_deadline_misses() << "\n";
+  for (const auto& s : r.sites)
+    std::cout << "    " << s.name << ": brown "
+              << bench::fmt(s.result.brown_kwh()) << " kWh, green util "
+              << TextTable::percent(s.result.energy.green_utilization())
+              << "\n";
+  bench::csv_row({label, bench::fmt(r.total_grid_kwh(), 4),
+                  std::to_string(r.tasks_moved)});
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "R-Fig-11", "follow-the-sun federation (3 staggered sites; and an "
+                  "asymmetric pair)");
+
+  {
+    std::cout << "symmetric, staggered UTC offsets (0 / +8 / -8):\n";
+    auto config = federation::make_follow_the_sun(site_base(), 3);
+    config.enable_task_routing = false;
+    report("  routing off", federation::run_federation(config));
+    config.enable_task_routing = true;
+    report("  routing on ", federation::run_federation(config));
+  }
+
+  {
+    std::cout << "\nasymmetric pair (dark site + 240 m² site):\n";
+    federation::FederationConfig config;
+    auto dark = site_base();
+    dark.panel_area_m2 = 0.0;
+    auto sunny = site_base();
+    sunny.panel_area_m2 = 240.0;
+    sunny.workload.seed += 9;
+    sunny.solar.seed += 9;
+    config.sites.push_back({"dark", dark});
+    config.sites.push_back({"sunny", sunny});
+    config.enable_task_routing = false;
+    report("  routing off", federation::run_federation(config));
+    config.enable_task_routing = true;
+    report("  routing on ", federation::run_federation(config));
+  }
+
+  std::cout << "\n(the broker only helps where local deferral cannot: "
+               "sites whose own sun cannot cover their backlog)\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// R-Fig-7: curtailed (lost) green energy vs battery size, per policy
+// — renewable production that found no taker because the battery was
+// full or its charge rate was exceeded. Mirrors the lineage's "solar
+// energy losses with variable battery size": deferral-based policies
+// need less storage to stop wasting green energy.
+
+#include "bench_support.hpp"
+
+int main() {
+  using namespace gm;
+  bench::print_header(
+      "R-Fig-7", "curtailed green kWh vs battery size (insufficient "
+                 "solar), per policy");
+
+  struct Config {
+    std::string label;
+    core::PolicyKind kind;
+    double deferral;
+  };
+  const std::vector<Config> policies{
+      {"esd-only", core::PolicyKind::kAsap, 0.0},
+      {"opp-100%", core::PolicyKind::kOpportunistic, 1.0},
+      {"greenmatch", core::PolicyKind::kGreenMatch, 1.0},
+  };
+
+  TextTable t({"battery kWh", "esd-only", "opp-100%", "greenmatch"});
+  for (double kwh : {0.0, 10.0, 20.0, 40.0, 60.0, 80.0, 110.0}) {
+    std::vector<std::string> row{bench::fmt(kwh, 0)};
+    std::vector<std::string> csv{bench::fmt(kwh, 0)};
+    for (const auto& p : policies) {
+      auto config = bench::canonical_config();
+      config.panel_area_m2 = bench::kInsufficientPanelM2;
+      config.battery =
+          energy::BatteryConfig::lithium_ion(kwh_to_j(kwh));
+      config.policy.kind = p.kind;
+      config.policy.deferral_fraction = p.deferral;
+      const double lost = bench::run(config).curtailed_kwh();
+      row.push_back(bench::fmt(lost));
+      csv.push_back(bench::fmt(lost, 4));
+    }
+    t.add_row(row);
+    std::cout << "csv:";
+    for (std::size_t i = 0; i < csv.size(); ++i)
+      std::cout << (i ? "," : "") << csv[i];
+    std::cout << '\n';
+  }
+  t.print(std::cout);
+  std::cout << "\n(losses fall with battery size for everyone; the "
+               "deferring policies start lower and reach ≈0 with a "
+               "smaller battery)\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// R-Fig-8: decomposition of scheduling-attributable energy losses vs
+// battery size — battery conversion + self-discharge losses against
+// migration + power-transition overheads, per policy. Mirrors the
+// lineage's "migration cost vs battery efficiency loss" figure: the
+// baseline loses through the battery, deferring policies lose through
+// consolidation churn, and the best configuration balances the two.
+
+#include "bench_support.hpp"
+
+int main() {
+  using namespace gm;
+  bench::print_header(
+      "R-Fig-8",
+      "loss decomposition (kWh) vs battery size, per policy");
+
+  struct Config {
+    std::string label;
+    core::PolicyKind kind;
+    double deferral;
+  };
+  const std::vector<Config> policies{
+      {"esd-only", core::PolicyKind::kAsap, 0.0},
+      {"opp-30%", core::PolicyKind::kOpportunistic, 0.3},
+      {"opp-100%", core::PolicyKind::kOpportunistic, 1.0},
+      {"greenmatch", core::PolicyKind::kGreenMatch, 1.0},
+  };
+
+  TextTable t({"battery kWh", "policy", "battery loss", "churn loss",
+               "total loss", "migrations", "power cycles"});
+  for (double kwh : {0.0, 20.0, 40.0, 80.0, 110.0}) {
+    for (const auto& p : policies) {
+      auto config = bench::canonical_config();
+      config.panel_area_m2 = bench::kInsufficientPanelM2;
+      config.battery =
+          energy::BatteryConfig::lithium_ion(kwh_to_j(kwh));
+      config.policy.kind = p.kind;
+      config.policy.deferral_fraction = p.deferral;
+      const auto r = bench::run(config);
+      const double battery_loss =
+          j_to_kwh(r.battery.conversion_loss_j +
+                   r.battery.self_discharge_loss_j);
+      const double churn_loss =
+          j_to_kwh(r.energy.overhead_migration_j +
+                   r.energy.overhead_transition_j);
+      t.add_row({bench::fmt(kwh, 0), p.label,
+                 bench::fmt(battery_loss), bench::fmt(churn_loss),
+                 bench::fmt(battery_loss + churn_loss),
+                 std::to_string(r.scheduler.task_migrations),
+                 std::to_string(r.scheduler.node_power_ons +
+                                r.scheduler.node_power_offs)});
+      bench::csv_row({bench::fmt(kwh, 0), p.label,
+                      bench::fmt(battery_loss, 4),
+                      bench::fmt(churn_loss, 4)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\n(battery losses grow with battery size and shrink "
+               "with deferral; churn losses do the opposite)\n";
+  return 0;
+}

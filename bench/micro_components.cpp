@@ -1,0 +1,113 @@
+// Micro-benchmarks (google-benchmark) for the hot components: event
+// queue, min-cost-flow planner, placement construction, coverage
+// queries, battery stepping and the solar model.
+
+#include <benchmark/benchmark.h>
+
+#include "core/mincost_flow.hpp"
+#include "energy/battery.hpp"
+#include "energy/solar.hpp"
+#include "sim/simulator.hpp"
+#include "storage/cluster.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace gm;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (std::size_t i = 0; i < n; ++i)
+      sim.schedule_at(static_cast<SimTime>(rng.uniform_u64(1'000'000)),
+                      [] {});
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
+
+void BM_MinCostFlowAssignment(benchmark::State& state) {
+  const int tasks = static_cast<int>(state.range(0));
+  const int slots = 24;
+  Rng rng(7);
+  for (auto _ : state) {
+    core::MinCostFlow f(tasks + slots + 2);
+    const int sink = tasks + slots + 1;
+    for (int i = 0; i < tasks; ++i) f.add_edge(0, 1 + i, 4, 0);
+    for (int i = 0; i < tasks; ++i)
+      for (int s = 0; s < slots; ++s)
+        f.add_edge(1 + i, 1 + tasks + s, 1,
+                   static_cast<long long>(rng.uniform_u64(1000)));
+    for (int s = 0; s < slots; ++s)
+      f.add_edge(1 + tasks + s, sink, tasks, 0);
+    const auto r = f.solve(0, sink);
+    benchmark::DoNotOptimize(r.cost);
+  }
+}
+BENCHMARK(BM_MinCostFlowAssignment)->Arg(32)->Arg(128);
+
+void BM_PlacementBuild(benchmark::State& state) {
+  storage::ClusterConfig config;
+  config.racks = 4;
+  config.nodes_per_rack = static_cast<int>(state.range(0)) / 4;
+  config.placement.group_count = 1024;
+  config.placement.replication = 3;
+  for (auto _ : state) {
+    storage::Cluster cluster(config);
+    benchmark::DoNotOptimize(cluster.node_count());
+  }
+}
+BENCHMARK(BM_PlacementBuild)->Arg(64)->Arg(256);
+
+void BM_ChooseActiveSet(benchmark::State& state) {
+  storage::ClusterConfig config;
+  config.racks = 4;
+  config.nodes_per_rack = 16;
+  config.placement.group_count = 512;
+  config.placement.replication = 3;
+  storage::Cluster cluster(config);
+  int target = 0;
+  for (auto _ : state) {
+    target = (target + 7) % 64;
+    benchmark::DoNotOptimize(cluster.choose_active_set(target));
+  }
+}
+BENCHMARK(BM_ChooseActiveSet);
+
+void BM_BatteryStep(benchmark::State& state) {
+  energy::Battery battery(
+      energy::BatteryConfig::lithium_ion(kwh_to_j(40)));
+  bool charge = true;
+  for (auto _ : state) {
+    if (charge)
+      benchmark::DoNotOptimize(battery.charge(kwh_to_j(1), 3600.0));
+    else
+      benchmark::DoNotOptimize(battery.discharge(kwh_to_j(1), 3600.0));
+    battery.apply_self_discharge(3600.0);
+    charge = !charge;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BatteryStep);
+
+void BM_SolarPower(benchmark::State& state) {
+  energy::SolarConfig config;
+  config.horizon_days = 14;
+  energy::SolarIrradianceModel model(config);
+  SimTime t = 0;
+  for (auto _ : state) {
+    t = (t + 937) % (14 * 86400);
+    benchmark::DoNotOptimize(model.power_w(t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SolarPower);
+
+}  // namespace
+
+BENCHMARK_MAIN();

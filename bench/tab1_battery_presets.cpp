@@ -1,0 +1,66 @@
+// R-Tab-1: battery technology characteristics (lead-acid vs
+// lithium-ion presets) and derived model behaviour — the analogue of
+// the lineage's battery-parameters table, extended with the derived
+// quantities the simulator actually uses.
+
+#include "bench_support.hpp"
+#include "energy/battery.hpp"
+
+int main() {
+  using namespace gm;
+  bench::print_header("R-Tab-1",
+                      "battery technology characteristics (90 kWh)");
+
+  const auto la = energy::BatteryConfig::lead_acid(kwh_to_j(90));
+  const auto li = energy::BatteryConfig::lithium_ion(kwh_to_j(90));
+
+  TextTable t({"parameter", "lead-acid", "lithium-ion"});
+  const auto row = [&](const std::string& name, double a, double b,
+                       int prec = 2) {
+    t.add_row({name, TextTable::num(a, prec), TextTable::num(b, prec)});
+  };
+  row("DoD", la.depth_of_discharge, li.depth_of_discharge);
+  row("charge rate (C/h)", la.charge_rate_c_per_hour,
+      li.charge_rate_c_per_hour, 3);
+  row("charge efficiency", la.charge_efficiency, li.charge_efficiency);
+  row("self-discharge (%/day)", la.self_discharge_per_day * 100,
+      li.self_discharge_per_day * 100, 2);
+  row("discharge/charge ratio", la.discharge_to_charge_ratio,
+      li.discharge_to_charge_ratio, 0);
+  row("price ($/kWh)", la.price_per_kwh_usd, li.price_per_kwh_usd, 0);
+  row("max charge (kW)", la.max_charge_w() / 1000,
+      li.max_charge_w() / 1000);
+  row("max discharge (kW)", la.max_discharge_w() / 1000,
+      li.max_discharge_w() / 1000);
+  row("usable capacity (kWh)", gm::j_to_kwh(la.usable_capacity_j()),
+      gm::j_to_kwh(li.usable_capacity_j()));
+  row("volume (L)", la.volume_l(), li.volume_l(), 0);
+  row("price ($)", la.price_usd(), li.price_usd(), 0);
+  t.print(std::cout);
+
+  // Behavioural check: round-trip one full day of charge/discharge and
+  // report delivered fraction (the effective round-trip efficiency).
+  std::cout << "\nround-trip behaviour (offer 90 kWh over 8 h, then "
+               "drain):\n";
+  TextTable rt({"technology", "accepted kWh", "delivered kWh",
+                "round-trip eff", "conv. loss kWh"});
+  for (const auto& config : {la, li}) {
+    energy::Battery b(config);
+    Joules accepted = 0.0;
+    for (int h = 0; h < 8; ++h)
+      accepted += b.charge(kwh_to_j(90.0 / 8), 3600.0);
+    Joules delivered = 0.0;
+    for (int h = 0; h < 24; ++h)
+      delivered += b.discharge(kwh_to_j(90), 3600.0);
+    rt.add_row({energy::battery_technology_name(config.technology),
+                bench::fmt(j_to_kwh(accepted)),
+                bench::fmt(j_to_kwh(delivered)),
+                bench::fmt(delivered / accepted, 3),
+                bench::fmt(j_to_kwh(b.conversion_loss_j()))});
+    bench::csv_row({energy::battery_technology_name(config.technology),
+                    bench::fmt(j_to_kwh(accepted), 4),
+                    bench::fmt(j_to_kwh(delivered), 4)});
+  }
+  rt.print(std::cout);
+  return 0;
+}

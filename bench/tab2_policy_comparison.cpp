@@ -1,0 +1,56 @@
+// R-Tab-2: full policy comparison across three workload mixes
+// (canonical, read-heavy, backup-heavy) at event-level fidelity:
+// brown energy, green utilization, deadline misses, request p95
+// latency, and scheduling churn.
+
+#include "bench_support.hpp"
+
+int main() {
+  using namespace gm;
+  bench::print_header(
+      "R-Tab-2",
+      "policy comparison, 3 workload mixes, event-level fidelity");
+
+  struct Mix {
+    std::string name;
+    workload::WorkloadSpec spec;
+  };
+  const std::vector<Mix> mixes{
+      {"canonical", workload::WorkloadSpec::canonical()},
+      {"read-heavy", workload::WorkloadSpec::read_heavy()},
+      {"backup-heavy", workload::WorkloadSpec::backup_heavy()},
+  };
+  const std::vector<core::PolicyKind> kinds{
+      core::PolicyKind::kAsap, core::PolicyKind::kNightShift,
+      core::PolicyKind::kOpportunistic, core::PolicyKind::kGreenMatchGreedy,
+      core::PolicyKind::kGreenMatch};
+
+  TextTable t({"mix", "policy", "brown kWh", "green util", "misses",
+               "p95 ms", "migr", "cycles", "wakeups"});
+  for (const auto& mix : mixes) {
+    for (auto kind : kinds) {
+      auto config = bench::canonical_config();
+      config.workload = mix.spec;
+      config.panel_area_m2 = bench::kInsufficientPanelM2;
+      config.battery = energy::BatteryConfig::lithium_ion(kwh_to_j(40));
+      config.policy.kind = kind;
+      config.policy.deferral_fraction = 1.0;
+      config.fidelity = core::Fidelity::kEventLevel;
+      const auto r = bench::run(config);
+      t.add_row({mix.name, r.scheduler.policy_name,
+                 bench::fmt(r.brown_kwh()),
+                 TextTable::percent(r.energy.green_utilization()),
+                 std::to_string(r.qos.deadline_misses),
+                 bench::fmt(r.qos.read_latency_p95_s * 1000.0, 1),
+                 std::to_string(r.scheduler.task_migrations),
+                 std::to_string(r.scheduler.node_power_ons +
+                                r.scheduler.node_power_offs),
+                 std::to_string(r.scheduler.forced_wakeups)});
+      bench::csv_row({mix.name, r.scheduler.policy_name,
+                      bench::fmt(r.brown_kwh(), 4),
+                      bench::fmt(r.energy.green_utilization(), 4)});
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}

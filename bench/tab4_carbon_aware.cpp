@@ -1,0 +1,61 @@
+// R-Tab-4 (extension): carbon-aware scheduling. Under a time-varying
+// grid carbon profile, minimizing grid *kWh* and minimizing grid
+// *gCO2e* are different objectives: the carbon-aware matcher shifts
+// unavoidable grid draws into clean-grid hours. Three grid profiles ×
+// {esd-only, greenmatch, greenmatch+carbon}.
+
+#include "bench_support.hpp"
+#include "energy/grid.hpp"
+
+int main() {
+  using namespace gm;
+  bench::print_header(
+      "R-Tab-4",
+      "carbon-aware scheduling under time-varying grid intensity");
+
+  struct Grid {
+    std::string name;
+    energy::GridConfig config;
+  };
+  const std::vector<Grid> grids{
+      {"flat-300", energy::GridConfig::flat(300.0)},
+      {"wind-heavy", energy::GridConfig::wind_heavy()},
+      {"solar-heavy", energy::GridConfig::solar_heavy()},
+  };
+  struct Policy {
+    std::string name;
+    core::PolicyKind kind;
+    bool carbon_aware;
+  };
+  const std::vector<Policy> policies{
+      {"esd-only", core::PolicyKind::kAsap, false},
+      {"greenmatch", core::PolicyKind::kGreenMatch, false},
+      {"greenmatch+carbon", core::PolicyKind::kGreenMatch, true},
+  };
+
+  TextTable t({"grid", "policy", "brown kWh", "carbon kg",
+               "g/kWh effective"});
+  for (const auto& grid : grids) {
+    for (const auto& p : policies) {
+      auto config = bench::canonical_config();
+      config.panel_area_m2 = bench::kInsufficientPanelM2;
+      config.battery = energy::BatteryConfig::lithium_ion(kwh_to_j(40));
+      config.grid = grid.config;
+      config.policy.kind = p.kind;
+      config.policy.carbon_aware = p.carbon_aware;
+      const auto r = bench::run(config);
+      const double effective =
+          r.brown_kwh() > 0 ? r.grid_carbon_g / r.brown_kwh() : 0.0;
+      t.add_row({grid.name, p.name, bench::fmt(r.brown_kwh()),
+                 bench::fmt(r.grid_carbon_g / 1000.0),
+                 bench::fmt(effective, 0)});
+      bench::csv_row({grid.name, p.name, bench::fmt(r.brown_kwh(), 4),
+                      bench::fmt(r.grid_carbon_g / 1000.0, 4)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\n(carbon-aware matching should lower kg — and the "
+               "effective g/kWh — on the varying grids at roughly "
+               "equal kWh; on the flat grid it changes nothing)\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Wind-powered site: the paper's stated future-work direction as a
+// runnable scenario. A site with a small turbine instead of (or on top
+// of) PV panels — wind is bursty and non-diurnal, so deadline-window
+// deferral loses structure while horizon-based matching keeps some.
+//
+// Build & run:  cmake --build build && ./build/examples/wind_site
+
+#include <iostream>
+
+#include "core/engine.hpp"
+#include "energy/wind.hpp"
+#include "util/table.hpp"
+
+using namespace gm;
+
+int main() {
+  auto config = core::ExperimentConfig::canonical();
+  config.battery = energy::BatteryConfig::lithium_ion(kwh_to_j(40.0));
+
+  energy::WindConfig wind;
+  wind.horizon_days = 10;
+  wind.rated_power_w = 18'000.0;
+
+  std::cout << "One week, 64-node cluster, 40 kWh LI battery.\n"
+            << "Comparing three supply mixes under ESD-only vs "
+               "GreenMatch.\n\n";
+
+  struct Site {
+    std::string name;
+    double panel_m2;
+    bool use_wind;
+  };
+  const std::vector<Site> sites{
+      {"solar-only (120 m²)", 120.0, false},
+      {"wind-only (18 kW)", 0.0, true},
+      {"hybrid (60 m² + wind)", 60.0, true},
+  };
+
+  TextTable t({"site", "policy", "green kWh", "brown kWh",
+               "green util", "curtailed"});
+  for (const auto& site : sites) {
+    for (auto kind :
+         {core::PolicyKind::kAsap, core::PolicyKind::kGreenMatch}) {
+      config.panel_area_m2 = site.panel_m2;
+      config.use_wind = site.use_wind;
+      config.wind = wind;
+      config.policy.kind = kind;
+      const auto r = core::run_experiment(config).result;
+      t.add_row({site.name, r.scheduler.policy_name,
+                 TextTable::num(r.green_supply_kwh()),
+                 TextTable::num(r.brown_kwh()),
+                 TextTable::percent(r.energy.green_utilization()),
+                 TextTable::num(r.curtailed_kwh())});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nWind shifts the trade-off toward storage: without a "
+               "diurnal pattern the scheduler's forecast horizon is "
+               "the only structure left to exploit.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+#include <algorithm>
+
+#include "core/policies.hpp"
+
+namespace gm::core {
+
+SlotDecision AsapPolicy::decide(const SlotContext& ctx) {
+  SlotDecision decision;
+  double util = ctx.foreground_util;
+  int count = 0;
+  // Pending arrives deadline-sorted; take everything capacity allows.
+  const double util_cap =
+      facts_.total_nodes * facts_.max_utilization_per_node;
+  const int slot_cap = facts_.total_nodes * facts_.task_slots_per_node;
+  for (const auto& p : ctx.pending) {
+    if (count >= slot_cap) break;
+    if (util + p.task.utilization > util_cap) break;
+    decision.run_tasks.push_back(p.task.id);
+    util += p.task.utilization;
+    ++count;
+  }
+  decision.target_active_nodes = nodes_for_load(util, count);
+  return decision;
+}
+
+NightShiftPolicy::NightShiftPolicy(double window_start_h,
+                                   double window_end_h)
+    : start_h_(window_start_h), end_h_(window_end_h) {}
+
+SlotDecision NightShiftPolicy::decide(const SlotContext& ctx) {
+  const CalendarTime cal = calendar_of(ctx.start);
+  const bool in_window = cal.hour >= start_h_ && cal.hour < end_h_;
+
+  SlotDecision decision;
+  double util = ctx.foreground_util;
+  int count = 0;
+  const double util_cap =
+      facts_.total_nodes * facts_.max_utilization_per_node;
+  const int slot_cap = facts_.total_nodes * facts_.task_slots_per_node;
+  for (const auto& p : ctx.pending) {
+    const bool must = p.urgent(ctx.start, facts_.slot_length_s);
+    if (!in_window && !must) continue;
+    if (count >= slot_cap) break;
+    if (util + p.task.utilization > util_cap) break;
+    decision.run_tasks.push_back(p.task.id);
+    util += p.task.utilization;
+    ++count;
+  }
+  decision.target_active_nodes = nodes_for_load(util, count);
+  return decision;
+}
+
+}  // namespace gm::core

@@ -1,0 +1,114 @@
+#pragma once
+// Experiment configuration: one struct that fully determines a run —
+// cluster, workload, energy supply, battery, policy, fidelity. Sweeps
+// copy a base config and vary one field, so every bench row is exactly
+// reproducible from its config and seed.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/policy.hpp"
+#include "workload/generator.hpp"
+#include "energy/battery.hpp"
+#include "energy/forecast.hpp"
+#include "energy/grid.hpp"
+#include "energy/solar.hpp"
+#include "energy/wind.hpp"
+#include "storage/cluster.hpp"
+#include "workload/spec.hpp"
+
+namespace gm::core {
+
+/// Simulation fidelity. Slot-level integrates aggregate demand (fast,
+/// used by parameter sweeps); event-level additionally routes every
+/// foreground request through the disk model for QoS metrics.
+enum class Fidelity : std::uint8_t { kSlotLevel = 0, kEventLevel };
+
+/// Injected hardware failure: the node crashes at `fail_at` (instant
+/// power loss, no orderly shutdown) and becomes usable again at
+/// `recover_at`. On failure the engine emits one repair task per
+/// placement group that had a replica on the node.
+struct NodeFailureEvent {
+  SimTime fail_at = 0;
+  SimTime recover_at = 0;
+  storage::NodeId node = 0;
+};
+
+struct ExperimentConfig {
+  storage::ClusterConfig cluster;
+  workload::WorkloadSpec workload = workload::WorkloadSpec::canonical();
+  /// When set, this exact trace is used instead of generating one from
+  /// `workload` (sweeps share one generated trace across many runs;
+  /// `workload.duration_days` must still match the trace horizon).
+  std::shared_ptr<const workload::Workload> preset_workload;
+
+  // --- renewable supply -------------------------------------------
+  energy::SolarConfig solar;
+  double panel_area_m2 = 120.0;  ///< 0 disables solar
+  /// When non-empty, solar production is played back from this CSV
+  /// (one power sample in watts per line, hourly grid) instead of the
+  /// synthetic model; panel_area_m2 is ignored for the trace.
+  std::string solar_trace_csv;
+  bool use_wind = false;
+  energy::WindConfig wind;
+
+  // --- storage & grid ----------------------------------------------
+  energy::BatteryConfig battery;  ///< capacity 0 disables the ESD
+  energy::GridConfig grid;
+
+  // --- scheduling ---------------------------------------------------
+  PolicyConfig policy;
+  SimTime slot_length_s = 3600;
+  Fidelity fidelity = Fidelity::kSlotLevel;
+  bool noisy_forecast = false;
+  energy::NoisyForecastConfig forecast_noise;
+
+  // --- power management ----------------------------------------------
+  /// Minimum slots a node stays in its power state (hysteresis).
+  int min_dwell_slots = 2;
+  /// Energy to suspend/migrate/resume one background task.
+  Joules task_migration_energy_j = 60e3;  ///< ≈ 1 node-minute @ 1 kW
+  double max_utilization_per_node = 0.95;
+  /// DVFS: relative frequency background tasks run at when the policy
+  /// requests eco mode (1.0 disables DVFS). Work rate scales with f,
+  /// dynamic power with f^dvfs_alpha, so energy per unit work scales
+  /// with f^(alpha-1). Urgent tasks always run at full speed.
+  double dvfs_eco_speed = 1.0;
+  double dvfs_alpha = 3.0;
+  /// MAID-style per-disk power management: on active nodes with no
+  /// running background tasks and negligible foreground share, spin
+  /// all but `maid_min_spinning_disks` disks down; they spin back up
+  /// (paying the transition energy) when work returns.
+  bool maid_enabled = false;
+  int maid_min_spinning_disks = 1;
+  /// CPU utilization-seconds per disk service second for foreground
+  /// requests (request handling busies more than the disk).
+  double foreground_cpu_factor = 1.5;
+  /// Extra slots simulated after the workload window so deferred tasks
+  /// can drain. The horizon is FIXED: every run covers exactly
+  /// duration + max_drain_slots, so energy totals are comparable
+  /// across policies. Tasks still unfinished at the horizon count as
+  /// deadline misses.
+  int max_drain_slots = 36;
+
+  // --- failure injection ---------------------------------------------
+  std::vector<NodeFailureEvent> node_failures;
+  /// Re-replication rate: a failed node's groups are repaired at this
+  /// rate, so repair work per group = group_bytes / rate.
+  double repair_rate_bytes_per_s = 200e6;
+  Seconds repair_deadline_s = 24 * 3600.0;
+
+  ExperimentConfig();
+
+  SimTime duration() const {
+    return static_cast<SimTime>(days_to_s(workload.duration_days));
+  }
+  void validate() const;
+
+  /// The canonical evaluation setup (DESIGN.md §4): 64-node cluster,
+  /// one-week canonical workload, June solar, LI battery.
+  static ExperimentConfig canonical();
+};
+
+}  // namespace gm::core

@@ -1,0 +1,195 @@
+#include "core/config_io.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace gm::core {
+
+PolicyKind parse_policy_kind(const std::string& name) {
+  if (name == "asap" || name == "esd-only") return PolicyKind::kAsap;
+  if (name == "opportunistic") return PolicyKind::kOpportunistic;
+  if (name == "greenmatch") return PolicyKind::kGreenMatch;
+  if (name == "greenmatch-greedy") return PolicyKind::kGreenMatchGreedy;
+  if (name == "night-shift" || name == "nightshift")
+    return PolicyKind::kNightShift;
+  throw InvalidArgument("unknown policy kind: '" + name + "'");
+}
+
+namespace {
+
+workload::WorkloadSpec parse_workload_preset(const std::string& name,
+                                             int days,
+                                             std::uint64_t seed) {
+  if (name == "canonical")
+    return workload::WorkloadSpec::canonical(days, seed);
+  if (name == "read-heavy")
+    return workload::WorkloadSpec::read_heavy(days, seed);
+  if (name == "backup-heavy")
+    return workload::WorkloadSpec::backup_heavy(days, seed);
+  throw InvalidArgument("unknown workload preset: '" + name + "'");
+}
+
+energy::BatteryConfig parse_battery(const std::string& technology,
+                                    double kwh) {
+  if (technology == "li" || technology == "lithium-ion")
+    return energy::BatteryConfig::lithium_ion(kwh_to_j(kwh));
+  if (technology == "la" || technology == "lead-acid")
+    return energy::BatteryConfig::lead_acid(kwh_to_j(kwh));
+  if (technology == "ideal")
+    return energy::BatteryConfig::ideal(kwh_to_j(kwh));
+  throw InvalidArgument("unknown battery technology: '" + technology +
+                        "'");
+}
+
+}  // namespace
+
+void apply_config(ExperimentConfig& config, const KeyValueConfig& kv) {
+  // --- cluster -------------------------------------------------------
+  config.cluster.racks = static_cast<int>(
+      kv.get_int_or("cluster.racks", config.cluster.racks));
+  config.cluster.nodes_per_rack = static_cast<int>(kv.get_int_or(
+      "cluster.nodes_per_rack", config.cluster.nodes_per_rack));
+  config.cluster.placement.replication = static_cast<int>(kv.get_int_or(
+      "cluster.replication", config.cluster.placement.replication));
+  config.cluster.placement.group_count =
+      static_cast<std::uint32_t>(kv.get_int_or(
+          "cluster.groups", config.cluster.placement.group_count));
+  config.cluster.node.task_slots = static_cast<int>(kv.get_int_or(
+      "cluster.task_slots", config.cluster.node.task_slots));
+
+  // --- workload ------------------------------------------------------
+  const int days = static_cast<int>(
+      kv.get_int_or("workload.days", config.workload.duration_days));
+  const auto seed = static_cast<std::uint64_t>(
+      kv.get_int_or("workload.seed",
+                    static_cast<std::int64_t>(config.workload.seed)));
+  if (const auto preset = kv.get_string("workload.preset")) {
+    config.workload = parse_workload_preset(*preset, days, seed);
+  } else {
+    config.workload.duration_days = days;
+    config.workload.seed = seed;
+  }
+  config.workload.foreground.base_rate_per_s =
+      kv.get_double_or("workload.foreground_rate",
+                       config.workload.foreground.base_rate_per_s);
+
+  // --- supply --------------------------------------------------------
+  config.panel_area_m2 =
+      kv.get_double_or("solar.panel_area_m2", config.panel_area_m2);
+  config.solar.latitude_deg =
+      kv.get_double_or("solar.latitude_deg", config.solar.latitude_deg);
+  config.solar.seed = static_cast<std::uint64_t>(kv.get_int_or(
+      "solar.seed", static_cast<std::int64_t>(config.solar.seed)));
+  config.solar.horizon_days = static_cast<int>(kv.get_int_or(
+      "solar.horizon_days", config.solar.horizon_days));
+  config.solar_trace_csv =
+      kv.get_string_or("solar.trace_csv", config.solar_trace_csv);
+  config.use_wind = kv.get_bool_or("wind.enabled", config.use_wind);
+  config.wind.rated_power_w =
+      kv.get_double_or("wind.rated_kw",
+                       config.wind.rated_power_w / 1000.0) *
+      1000.0;
+  config.wind.horizon_days = static_cast<int>(kv.get_int_or(
+      "wind.horizon_days", config.wind.horizon_days));
+
+  // --- battery -------------------------------------------------------
+  const double battery_kwh = kv.get_double_or(
+      "battery.kwh", j_to_kwh(config.battery.capacity_j));
+  const std::string technology = kv.get_string_or(
+      "battery.technology",
+      config.battery.technology == energy::BatteryTechnology::kLeadAcid
+          ? "la"
+          : "li");
+  config.battery = parse_battery(technology, battery_kwh);
+  config.battery.initial_soc_fraction = kv.get_double_or(
+      "battery.initial_soc", config.battery.initial_soc_fraction);
+
+  // --- policy --------------------------------------------------------
+  if (const auto kind = kv.get_string("policy.kind"))
+    config.policy.kind = parse_policy_kind(*kind);
+  config.policy.deferral_fraction = kv.get_double_or(
+      "policy.deferral", config.policy.deferral_fraction);
+  config.policy.horizon_slots = static_cast<int>(kv.get_int_or(
+      "policy.horizon", config.policy.horizon_slots));
+  config.policy.battery_aware = kv.get_bool_or(
+      "policy.battery_aware", config.policy.battery_aware);
+  config.policy.carbon_aware = kv.get_bool_or(
+      "policy.carbon_aware", config.policy.carbon_aware);
+  if (const auto profile = kv.get_string("grid.profile")) {
+    if (*profile == "flat")
+      config.grid = energy::GridConfig::flat();
+    else if (*profile == "wind-heavy")
+      config.grid = energy::GridConfig::wind_heavy();
+    else if (*profile == "solar-heavy")
+      config.grid = energy::GridConfig::solar_heavy();
+    else
+      throw InvalidArgument("unknown grid profile: '" + *profile + "'");
+  }
+  config.policy.window_start_h = kv.get_double_or(
+      "policy.window_start_h", config.policy.window_start_h);
+  config.policy.window_end_h = kv.get_double_or(
+      "policy.window_end_h", config.policy.window_end_h);
+
+  // --- simulation ----------------------------------------------------
+  if (const auto fidelity = kv.get_string("sim.fidelity")) {
+    if (*fidelity == "slot")
+      config.fidelity = Fidelity::kSlotLevel;
+    else if (*fidelity == "event")
+      config.fidelity = Fidelity::kEventLevel;
+    else
+      throw InvalidArgument("sim.fidelity must be 'slot' or 'event'");
+  }
+  config.slot_length_s =
+      kv.get_int_or("sim.slot_seconds", config.slot_length_s);
+  config.min_dwell_slots = static_cast<int>(
+      kv.get_int_or("sim.dwell_slots", config.min_dwell_slots));
+  config.max_drain_slots = static_cast<int>(
+      kv.get_int_or("sim.drain_slots", config.max_drain_slots));
+  config.dvfs_eco_speed =
+      kv.get_double_or("sim.dvfs_eco_speed", config.dvfs_eco_speed);
+  config.maid_enabled = kv.get_bool_or("sim.maid", config.maid_enabled);
+  config.maid_min_spinning_disks = static_cast<int>(kv.get_int_or(
+      "sim.maid_min_disks", config.maid_min_spinning_disks));
+  config.noisy_forecast =
+      kv.get_bool_or("forecast.noisy", config.noisy_forecast);
+  config.forecast_noise.error_at_1h = kv.get_double_or(
+      "forecast.error_at_1h", config.forecast_noise.error_at_1h);
+
+  const auto unknown = kv.unconsumed_keys();
+  if (!unknown.empty()) {
+    std::ostringstream os;
+    os << "unknown config keys:";
+    for (const auto& k : unknown) os << " '" << k << "'";
+    throw InvalidArgument(os.str());
+  }
+  config.validate();
+}
+
+ExperimentConfig config_from_file(const std::string& path) {
+  ExperimentConfig config = ExperimentConfig::canonical();
+  apply_config(config, KeyValueConfig::load_file(path));
+  return config;
+}
+
+std::string config_keys_help() {
+  return
+      "cluster.racks, cluster.nodes_per_rack, cluster.replication,\n"
+      "cluster.groups, cluster.task_slots\n"
+      "workload.preset (canonical|read-heavy|backup-heavy),\n"
+      "workload.days, workload.seed, workload.foreground_rate\n"
+      "solar.panel_area_m2, solar.latitude_deg, solar.seed,\n"
+      "solar.horizon_days, solar.trace_csv\n"
+      "wind.enabled, wind.rated_kw, wind.horizon_days\n"
+      "battery.technology (li|la|ideal), battery.kwh,\n"
+      "battery.initial_soc\n"
+      "policy.kind (asap|opportunistic|greenmatch|greenmatch-greedy|\n"
+      "night-shift), policy.deferral, policy.horizon,\n"
+      "policy.battery_aware, policy.carbon_aware, policy.window_start_h,\n"
+      "policy.window_end_h, grid.profile (flat|wind-heavy|solar-heavy)\n"
+      "sim.fidelity (slot|event), sim.slot_seconds, sim.dwell_slots,\n"
+      "sim.drain_slots, sim.dvfs_eco_speed, sim.maid, sim.maid_min_disks\n"
+      "forecast.noisy, forecast.error_at_1h\n";
+}
+
+}  // namespace gm::core

@@ -1,0 +1,27 @@
+#pragma once
+// Experiment configuration from key=value files (and CLI overrides).
+// Every supported key is documented in `config_keys_help()`; unknown
+// keys are an error so typos fail loudly instead of silently running
+// the default.
+
+#include <string>
+
+#include "core/config.hpp"
+#include "util/config_kv.hpp"
+
+namespace gm::core {
+
+/// Applies the keys in `kv` on top of `config`. Throws
+/// gm::InvalidArgument on unknown keys or malformed values.
+void apply_config(ExperimentConfig& config, const KeyValueConfig& kv);
+
+/// Builds a config from a file (canonical defaults + file contents).
+ExperimentConfig config_from_file(const std::string& path);
+
+/// One-line-per-key description of the accepted configuration keys.
+std::string config_keys_help();
+
+/// Parses policy names as used in config files and CLIs.
+PolicyKind parse_policy_kind(const std::string& name);
+
+}  // namespace gm::core

@@ -1,0 +1,615 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/policies.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace gm::core {
+
+namespace {
+
+std::shared_ptr<const energy::PowerSource> build_supply(
+    const ExperimentConfig& config) {
+  auto composite = std::make_shared<energy::CompositeSource>();
+  bool any = false;
+  if (!config.solar_trace_csv.empty()) {
+    composite->add(std::make_shared<energy::TraceSource>(
+        energy::TraceSource::from_csv(config.solar_trace_csv, 3600)));
+    any = true;
+  } else if (config.panel_area_m2 > 0.0) {
+    composite->add(energy::make_pv_array(config.solar,
+                                         config.panel_area_m2));
+    any = true;
+  }
+  if (config.use_wind) {
+    composite->add(std::make_shared<energy::WindModel>(config.wind));
+    any = true;
+  }
+  if (!any) return std::make_shared<energy::NullSource>();
+  return composite;
+}
+
+std::unique_ptr<energy::ForecastProvider> build_forecast(
+    const ExperimentConfig& config,
+    std::shared_ptr<const energy::PowerSource> supply) {
+  if (config.noisy_forecast)
+    return std::make_unique<energy::NoisyForecast>(std::move(supply),
+                                                   config.forecast_noise);
+  return std::make_unique<energy::PerfectForecast>(std::move(supply));
+}
+
+}  // namespace
+
+SimulationEngine::SimulationEngine(const ExperimentConfig& config)
+    : config_(config),
+      cluster_(config.cluster),
+      workload_(config.preset_workload
+                    ? config.preset_workload
+                    : std::make_shared<const workload::Workload>(
+                          workload::generate_workload(
+                              config.workload,
+                              config.cluster.placement.group_count))),
+      supply_(build_supply(config)),
+      forecast_(build_forecast(config, supply_)),
+      battery_(config.battery),
+      grid_(config.grid),
+      policy_(make_policy(config.policy)),
+      power_(cluster_, config.min_dwell_slots),
+      router_(cluster_, storage::RouterConfig{}),
+      slots_(config.slot_length_s) {
+  config_.validate();
+
+  facts_.total_nodes = static_cast<int>(cluster_.node_count());
+  facts_.min_nodes_for_coverage = power_.min_feasible();
+  facts_.task_slots_per_node = config_.cluster.node.task_slots;
+  facts_.node_idle_floor_w = config_.cluster.node.idle_floor_w();
+  facts_.node_peak_w = config_.cluster.node.peak_w();
+  facts_.slot_length_s = static_cast<Seconds>(config_.slot_length_s);
+  facts_.node_boot_energy_j = config_.cluster.node.boot_energy_j();
+  facts_.max_utilization_per_node = config_.max_utilization_per_node;
+  policy_->initialize(facts_);
+
+  std::sort(config_.node_failures.begin(), config_.node_failures.end(),
+            [](const NodeFailureEvent& a, const NodeFailureEvent& b) {
+              return a.fail_at < b.fail_at;
+            });
+
+  // Precompute per-slot foreground utilization (node-equivalents).
+  const auto total_slots = static_cast<std::size_t>(
+      config_.duration() / config_.slot_length_s +
+      config_.max_drain_slots + 1);
+  fg_util_.assign(total_slots, 0.0);
+  slot_green_j_.resize(total_slots + config_.policy.horizon_slots + 1);
+  for (std::size_t s = 0; s < slot_green_j_.size(); ++s) {
+    const SimTime a = static_cast<SimTime>(s) * config_.slot_length_s;
+    slot_green_j_[s] = supply_->energy_j(a, a + config_.slot_length_s);
+  }
+
+  const auto& disk = config_.cluster.node.disk;
+  for (const auto& r : workload_->requests) {
+    const double service =
+        disk.avg_seek_s +
+        static_cast<double>(r.size_bytes) / disk.bandwidth_bytes_per_s;
+    const auto s = static_cast<std::size_t>(slots_.slot_of(r.arrival));
+    if (s < fg_util_.size())
+      fg_util_[s] += service * config_.foreground_cpu_factor /
+                     static_cast<double>(config_.slot_length_s);
+  }
+}
+
+void SimulationEngine::admit_released_tasks(SimTime now) {
+  while (next_task_index_ < workload_->tasks.size() &&
+         workload_->tasks[next_task_index_].release <= now) {
+    PendingTask p;
+    p.task = workload_->tasks[next_task_index_++];
+    p.remaining_s = p.task.work_s;
+    p.policy_tag = policy_->admit(p.task);
+    pending_.push_back(p);
+  }
+  for (auto& task : router_.drain_offload_tasks()) {
+    PendingTask p;
+    p.task = task;
+    p.remaining_s = task.work_s;
+    p.policy_tag = policy_->admit(p.task);
+    pending_.push_back(p);
+  }
+}
+
+void SimulationEngine::process_failures(SimTime now, SlotIndex slot) {
+  // Recoveries first so a fail/recover pair in the same slot nets out.
+  std::erase_if(pending_recoveries_, [&](const NodeFailureEvent& e) {
+    if (e.recover_at > now) return false;
+    power_.recover_node(e.node, now, slot);
+    return true;
+  });
+  const auto& events = config_.node_failures;
+  while (next_failure_index_ < events.size() &&
+         events[next_failure_index_].fail_at <= now) {
+    const NodeFailureEvent& e = events[next_failure_index_++];
+    GM_CHECK(e.node < cluster_.node_count(),
+             "failure event names unknown node " << e.node);
+    power_.fail_node(e.node, now);
+    ++nodes_failed_;
+    if (e.recover_at > e.fail_at) pending_recoveries_.push_back(e);
+    // Re-replication: one repair task per group the node hosted.
+    for (storage::GroupId g : cluster_.placement().groups_on(e.node)) {
+      PendingTask p;
+      p.task.id = next_repair_task_id_++;
+      p.task.type = storage::TaskType::kRepair;
+      p.task.release = now;
+      p.task.deadline =
+          now + static_cast<SimTime>(config_.repair_deadline_s);
+      p.task.work_s = std::max(
+          60.0, cluster_.placement().group_bytes(g) /
+                    config_.repair_rate_bytes_per_s);
+      p.task.utilization = 0.2;
+      p.task.group = g;
+      p.remaining_s = p.task.work_s;
+      p.policy_tag = policy_->admit(p.task);
+      pending_.push_back(p);
+    }
+  }
+}
+
+SlotContext SimulationEngine::make_context(SlotIndex slot, SimTime start,
+                                           SimTime end) {
+  SlotContext ctx;
+  ctx.slot = slot;
+  ctx.start = start;
+  ctx.end = end;
+  ctx.battery_stored_j = battery_.stored_j();
+  ctx.battery_usable_capacity_j = battery_.usable_capacity_j();
+  ctx.battery_max_charge_w = battery_.config().max_charge_w();
+  ctx.battery_max_discharge_w = battery_.config().max_discharge_w();
+  ctx.battery_charge_efficiency = battery_.config().charge_efficiency;
+  ctx.currently_active_nodes = power_.active_count();
+
+  const int horizon = std::max(1, config_.policy.horizon_slots);
+  ctx.green_forecast_w.reserve(horizon);
+  ctx.foreground_util_forecast.reserve(horizon);
+  for (int j = 0; j < horizon; ++j) {
+    const auto s = static_cast<std::size_t>(slot + j);
+    if (config_.noisy_forecast) {
+      const SimTime a = start + static_cast<SimTime>(j) *
+                                    config_.slot_length_s;
+      const SimTime b = a + config_.slot_length_s;
+      ctx.green_forecast_w.push_back(
+          forecast_->forecast_mean_w(start, a, b));
+    } else {
+      ctx.green_forecast_w.push_back(
+          s < slot_green_j_.size()
+              ? slot_green_j_[s] /
+                    static_cast<double>(config_.slot_length_s)
+              : 0.0);
+    }
+    ctx.foreground_util_forecast.push_back(
+        s < fg_util_.size() ? fg_util_[s] : 0.0);
+    const SimTime mid = start + static_cast<SimTime>(j) *
+                                    config_.slot_length_s +
+                        config_.slot_length_s / 2;
+    ctx.grid_carbon_g_per_kwh.push_back(
+        config_.grid.carbon_g_per_kwh(calendar_of(mid).hour));
+  }
+  ctx.foreground_util = ctx.foreground_util_forecast[0];
+  ctx.pending = pending_;
+  return ctx;
+}
+
+std::vector<std::size_t> SimulationEngine::assign_tasks(
+    const SlotDecision& decision, SimTime now, Joules& migration_j) {
+  std::unordered_set<storage::TaskId> chosen(decision.run_tasks.begin(),
+                                             decision.run_tasks.end());
+
+  // Per-node headroom under the post-transition active set. `active`
+  // is a live reference: urgent-task wake-ups below update it.
+  const auto& active = power_.active();
+  const int active_count = power_.active_count();
+  const double fg_share =
+      active_count > 0
+          ? fg_util_[static_cast<std::size_t>(slots_.slot_of(now))] /
+                active_count
+          : 0.0;
+  std::vector<int> free_slots(cluster_.node_count(), 0);
+  std::vector<double> node_util(cluster_.node_count(), 0.0);
+  for (storage::NodeId n = 0; n < cluster_.node_count(); ++n) {
+    if (!active[n]) continue;
+    free_slots[n] = config_.cluster.node.task_slots;
+    node_util[n] = fg_share;
+  }
+
+  std::vector<std::size_t> running;
+  const Seconds slot_len = static_cast<Seconds>(config_.slot_length_s);
+
+  // pending_ is deadline-sorted; iterate once so urgent tasks get
+  // first pick of the capacity even if the policy omitted them.
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    PendingTask& p = pending_[i];
+    const bool urgent = p.urgent(now, slot_len);
+    const bool wanted = chosen.count(p.task.id) > 0;
+    if (!wanted && !urgent) {
+      if (p.running) p.running = false;  // suspended by the policy
+      continue;
+    }
+    if (!wanted && urgent) ++forced_urgent_;
+
+    // Candidate nodes: active replicas of the task's group with a free
+    // task slot and utilization headroom.
+    const auto find_candidate = [&]() {
+      storage::NodeId best = storage::kInvalidNode;
+      double best_util = 1e18;
+      for (storage::NodeId n :
+           cluster_.placement().replicas(p.task.group)) {
+        if (!active[n] || free_slots[n] <= 0) continue;
+        if (node_util[n] + p.task.utilization >
+            config_.max_utilization_per_node)
+          continue;
+        if (n == p.assigned_node && p.running) return n;  // sticky
+        if (node_util[n] < best_util) {
+          best_util = node_util[n];
+          best = n;
+        }
+      }
+      return best;
+    };
+    storage::NodeId best = find_candidate();
+    if (best == storage::kInvalidNode && urgent) {
+      // Last resort for a task about to miss its deadline: wake a
+      // sleeping replica (transition energy is accounted by the
+      // power manager's forced-energy channel).
+      const storage::NodeId woken = power_.wake_sleeping_replica(
+          p.task.group, now, slots_.slot_of(now));
+      if (woken != storage::kInvalidNode) {
+        free_slots[woken] = config_.cluster.node.task_slots;
+        node_util[woken] = fg_share;
+        best = find_candidate();
+      }
+    }
+    if (best == storage::kInvalidNode) {
+      ++assignment_failures_;
+      if (p.running) p.running = false;
+      continue;
+    }
+    if (p.running && p.assigned_node != best) {
+      ++migrations_;
+      migration_j += config_.task_migration_energy_j;
+    }
+    p.assigned_node = best;
+    p.running = true;
+    --free_slots[best];
+    node_util[best] += p.task.utilization;
+    running.push_back(i);
+  }
+  return running;
+}
+
+void SimulationEngine::route_requests(SlotIndex slot, SimTime start,
+                                      SimTime end) {
+  const storage::NodeWaker waker = [&](storage::GroupId group,
+                                       SimTime now) -> SimTime {
+    return power_.force_wake_for_group(group, now, slot);
+  };
+  while (next_request_index_ < workload_->requests.size() &&
+         workload_->requests[next_request_index_].arrival < end) {
+    const auto& req = workload_->requests[next_request_index_++];
+    GM_ASSERT(req.arrival >= start);
+    simulator_.schedule_at(req.arrival, [this, &req, &waker] {
+      router_.route(req, simulator_.now(), waker);
+    });
+  }
+  simulator_.run_until(end);
+}
+
+SlotIndex SimulationEngine::total_slots() const {
+  // Fixed accounting horizon: every run simulates exactly
+  // workload + max_drain_slots slots so that policies that defer work
+  // later are compared over the same wall-clock window (and pay the
+  // same idle-floor baseline).
+  return static_cast<SlotIndex>(config_.duration() /
+                                config_.slot_length_s) +
+         config_.max_drain_slots;
+}
+
+Watts SimulationEngine::slot_green_w(SlotIndex slot) const {
+  const auto s = static_cast<std::size_t>(slot);
+  return s < slot_green_j_.size()
+             ? slot_green_j_[s] / static_cast<double>(config_.slot_length_s)
+             : 0.0;
+}
+
+Seconds SimulationEngine::pending_work_s() const {
+  Seconds total = 0.0;
+  for (const auto& p : pending_)
+    if (!p.running) total += p.remaining_s;
+  return total;
+}
+
+double SimulationEngine::slot_fg_util(SlotIndex slot) const {
+  const auto s = static_cast<std::size_t>(slot);
+  return s < fg_util_.size() ? fg_util_[s] : 0.0;
+}
+
+std::vector<PendingTask> SimulationEngine::extract_transferable_tasks(
+    SimTime now, Seconds min_slack_s, std::size_t max_tasks) {
+  std::vector<PendingTask> moved;
+  std::erase_if(pending_, [&](const PendingTask& p) {
+    if (moved.size() >= max_tasks) return false;
+    if (p.running) return false;
+    if (p.slack(now) < min_slack_s) return false;
+    moved.push_back(p);
+    return true;
+  });
+  // Moved tasks become the destination site's responsibility.
+  GM_ASSERT(tasks_admitted_ >= moved.size());
+  tasks_admitted_ -= moved.size();
+  return moved;
+}
+
+void SimulationEngine::inject_task(const storage::BackgroundTask& task,
+                                   Seconds remaining_s) {
+  GM_CHECK(task.group < config_.cluster.placement.group_count,
+           "injected task group out of range: " << task.group);
+  PendingTask p;
+  p.task = task;
+  p.remaining_s = remaining_s;
+  p.policy_tag = policy_->admit(p.task);
+  pending_.push_back(p);
+  ++tasks_admitted_;
+}
+
+void SimulationEngine::run_slot(SlotIndex slot) {
+  GM_CHECK(!finalized_, "run_slot after finalize");
+  GM_CHECK(slot == next_slot_, "slots must run consecutively: expected "
+                                   << next_slot_ << ", got " << slot);
+  ++next_slot_;
+
+  const SimTime slot_len = config_.slot_length_s;
+  const auto workload_slots =
+      static_cast<SlotIndex>(config_.duration() / slot_len);
+  const Watts idle_floor = facts_.node_idle_floor_w;
+  const Watts spread = facts_.node_peak_w - facts_.node_idle_floor_w;
+  RunArtifacts& artifacts = artifacts_;
+  {
+    const SimTime start = slot * slot_len;
+    const SimTime end = start + slot_len;
+    const bool in_workload = slot < workload_slots;
+
+    // 1. Failures/recoveries, then admit released tasks; keep the
+    //    pool deadline-sorted.
+    const std::size_t before = pending_.size();
+    process_failures(start, slot);
+    admit_released_tasks(start);
+    tasks_admitted_ += pending_.size() - before;
+    std::sort(pending_.begin(), pending_.end(),
+              [](const PendingTask& a, const PendingTask& b) {
+                if (a.task.deadline != b.task.deadline)
+                  return a.task.deadline < b.task.deadline;
+                return a.task.id < b.task.id;
+              });
+
+    // 2. Policy decision.
+    const SlotContext ctx = make_context(slot, start, end);
+    SlotDecision decision = policy_->decide(ctx);
+
+    // 3. Power management. The engine recomputes the floor the
+    //    foreground demand imposes so a broken policy cannot starve it.
+    const double fg = ctx.foreground_util;
+    const int fg_floor = static_cast<int>(
+        std::ceil(fg / config_.max_utilization_per_node));
+    const int target =
+        std::max({decision.target_active_nodes, fg_floor,
+                  power_.min_feasible()});
+    const PowerManager::Transition tr =
+        power_.apply_target(slot, target, start);
+    power_ons_ += tr.powered_on;
+    power_offs_ += tr.powered_off;
+
+    // 4. Task assignment and execution. Non-urgent tasks may run at
+    //    the DVFS eco frequency when the policy asked for it: work
+    //    rate scales with f, dynamic power with f^alpha.
+    Joules migration_j = 0.0;
+    const auto running = assign_tasks(decision, start, migration_j);
+    const double eco = decision.eco_speed ? config_.dvfs_eco_speed : 1.0;
+    double task_util_eff = 0.0;   // occupancy (capacity accounting)
+    Joules task_dynamic_j = 0.0;  // dynamic energy of running tasks
+    for (std::size_t i : running) {
+      PendingTask& p = pending_[i];
+      const bool urgent =
+          p.urgent(start, static_cast<Seconds>(slot_len));
+      const double speed = urgent ? 1.0 : eco;
+      const Seconds wall = std::min(static_cast<Seconds>(slot_len),
+                                    p.remaining_s / speed);
+      const Seconds work = wall * speed;
+      task_util_eff += p.task.utilization * wall /
+                       static_cast<double>(slot_len);
+      task_dynamic_j += p.task.utilization * spread *
+                        std::pow(speed, config_.dvfs_alpha) * wall;
+      p.remaining_s -= work;
+      if (p.remaining_s <= 1e-9) {
+        const SimTime completion = start + static_cast<SimTime>(wall);
+        ++tasks_completed_;
+        if (completion > p.task.deadline) ++deadline_misses_;
+        sojourn_hours_sum_ +=
+            s_to_hours(static_cast<double>(completion - p.task.release));
+        p.remaining_s = 0.0;
+      }
+    }
+    // 4b. MAID disk power management: on active nodes hosting no
+    //     running background task, spin all but the configured minimum
+    //     of disks down; busy nodes get all disks back (spin-up energy
+    //     is charged as transition overhead).
+    Joules maid_j = 0.0;
+    if (config_.maid_enabled) {
+      std::vector<bool> busy(cluster_.node_count(), false);
+      for (std::size_t i : running)
+        busy[pending_[i].assigned_node] = true;
+      const auto& active = power_.active();
+      for (storage::NodeId n = 0; n < cluster_.node_count(); ++n) {
+        if (!active[n]) continue;
+        auto& disks = cluster_.node(n).disks();
+        const int keep =
+            busy[n] ? static_cast<int>(disks.size())
+                    : std::min<int>(config_.maid_min_spinning_disks,
+                                    static_cast<int>(disks.size()));
+        for (int d = 0; d < static_cast<int>(disks.size()); ++d) {
+          auto& disk = disks[d];
+          if (d < keep && !disk.spinning()) {
+            const SimTime done = disk.begin_spinup(start);
+            disk.complete_spinup(std::max(done, start));
+            maid_j += disk.config().spinup_energy_j();
+          } else if (d >= keep && disk.spinning()) {
+            disk.spin_down(start);
+          }
+        }
+      }
+    }
+
+    std::erase_if(pending_,
+                  [](const PendingTask& p) { return p.remaining_s <= 0.0; });
+
+    // 5. Event-level request routing inside the slot.
+    if (config_.fidelity == Fidelity::kEventLevel && in_workload)
+      route_requests(slot, start, end);
+
+    // 6. Energy integration and balance.
+    const int active_count = power_.active_count();
+    const Joules forced_j = power_.drain_forced_energy_j();
+    const Joules transition_j = tr.energy_j + forced_j + maid_j;
+    Joules base_j =
+        active_count * idle_floor * static_cast<double>(slot_len);
+    if (config_.maid_enabled) {
+      // Per-node floor reflecting actual disk states.
+      base_j = 0.0;
+      const auto& active = power_.active();
+      for (storage::NodeId n = 0; n < cluster_.node_count(); ++n) {
+        if (!active[n]) continue;
+        Watts node_floor = config_.cluster.node.cpu_idle_w;
+        for (const auto& disk : cluster_.node(n).disks())
+          node_floor += disk.power_w();
+        base_j += node_floor * static_cast<double>(slot_len);
+      }
+    }
+    const Joules dynamic_j =
+        spread * fg * static_cast<double>(slot_len) + task_dynamic_j;
+    const Joules demand_j =
+        base_j + dynamic_j + transition_j + migration_j;
+
+    const Joules supply_j =
+        static_cast<std::size_t>(slot) < slot_green_j_.size()
+            ? slot_green_j_[slot]
+            : supply_->energy_j(start, end);
+    const Joules green_direct = std::min(demand_j, supply_j);
+    const Joules surplus = supply_j - green_direct;
+    const Joules deficit = demand_j - green_direct;
+
+    Joules charged = 0.0, discharged = 0.0, brown = 0.0;
+    if (surplus > 0.0)
+      charged = battery_.charge(surplus, static_cast<Seconds>(slot_len));
+    if (deficit > 0.0) {
+      discharged =
+          battery_.discharge(deficit, static_cast<Seconds>(slot_len));
+      brown = deficit - discharged;
+      if (brown > 0.0) grid_.draw(start, brown);
+    }
+    battery_.apply_self_discharge(static_cast<Seconds>(slot_len));
+
+    energy::SlotRecord record;
+    record.slot = slot;
+    record.start = start;
+    record.end = end;
+    record.green_supply_j = supply_j;
+    record.green_direct_j = green_direct;
+    record.battery_charge_drawn_j = charged;
+    record.battery_discharged_j = discharged;
+    record.brown_j = brown;
+    record.curtailed_j = surplus - charged;
+    record.demand_j = demand_j;
+    record.overhead_transition_j = transition_j;
+    record.overhead_migration_j = migration_j;
+    record.battery_stored_end_j = battery_.stored_j();
+    artifacts.ledger.append(record);
+
+    active_nodes_tw_.set(start, active_count);
+    artifacts.active_nodes_per_slot.push_back(active_count);
+    artifacts.task_util_per_slot.push_back(task_util_eff);
+    artifacts.fg_util_per_slot.push_back(fg);
+  }
+}
+
+RunArtifacts SimulationEngine::finalize() {
+  GM_CHECK(!finalized_, "finalize called twice");
+  finalized_ = true;
+  RunArtifacts& artifacts = artifacts_;
+  const SimTime slot_len = config_.slot_length_s;
+
+  // Any tasks that never completed (pool drained by the slot cap) are
+  // counted as misses.
+  deadline_misses_ += pending_.size();
+  const SimTime final_time =
+      static_cast<SimTime>(artifacts.ledger.size()) * slot_len;
+  active_nodes_tw_.advance_to(final_time);
+
+  // --- assemble the result -----------------------------------------
+  metrics::RunResult& r = artifacts.result;
+  r.energy = artifacts.ledger.totals();
+  r.duration = final_time;
+  r.grid_carbon_g = grid_.total_carbon_g();
+  r.grid_cost_usd = grid_.total_cost_usd();
+
+  r.qos.foreground_requests = router_.stats().requests;
+  r.qos.unavailable_reads = router_.unavailable_reads();
+  r.qos.offloaded_writes = router_.stats().offloaded_writes;
+  if (router_.latency_histogram().count() > 0) {
+    r.qos.read_latency_p50_s = router_.latency_histogram().quantile(0.50);
+    r.qos.read_latency_p95_s = router_.latency_histogram().quantile(0.95);
+    r.qos.read_latency_p99_s = router_.latency_histogram().quantile(0.99);
+  }
+  r.qos.tasks_total = tasks_admitted_;
+  r.qos.tasks_completed = tasks_completed_;
+  r.qos.deadline_misses = deadline_misses_;
+  r.qos.mean_task_sojourn_h =
+      tasks_completed_ > 0
+          ? sojourn_hours_sum_ / static_cast<double>(tasks_completed_)
+          : 0.0;
+
+  r.battery.capacity_j = config_.battery.capacity_j;
+  r.battery.charged_in_j = battery_.total_charged_in_j();
+  r.battery.discharged_out_j = battery_.total_discharged_out_j();
+  r.battery.conversion_loss_j = battery_.conversion_loss_j();
+  r.battery.self_discharge_loss_j = battery_.self_discharge_loss_j();
+  r.battery.final_stored_j = battery_.stored_j();
+  r.battery.equivalent_cycles = battery_.equivalent_cycles();
+  r.battery.health_fraction = battery_.health_fraction();
+  r.battery.volume_l = config_.battery.volume_l();
+  r.battery.price_usd = config_.battery.price_usd();
+
+  r.scheduler.policy_name = policy_->name();
+  r.scheduler.node_power_ons = power_ons_;
+  r.scheduler.node_power_offs = power_offs_;
+  r.scheduler.task_migrations = migrations_;
+  r.scheduler.forced_wakeups = router_.stats().forced_wakeups;
+  r.scheduler.forced_urgent_runs = forced_urgent_;
+  r.scheduler.assignment_failures = assignment_failures_;
+  r.scheduler.nodes_failed = nodes_failed_;
+  r.scheduler.mean_active_nodes = active_nodes_tw_.time_average();
+  if (const auto* gm = dynamic_cast<const GreenMatchPolicy*>(policy_.get()))
+    r.scheduler.plan_solve_ms_total = gm->solve_ms_total();
+  return std::move(artifacts_);
+}
+
+RunArtifacts SimulationEngine::run() {
+  const SlotIndex n = total_slots();
+  for (SlotIndex slot = 0; slot < n; ++slot) run_slot(slot);
+  return finalize();
+}
+
+RunArtifacts run_experiment(const ExperimentConfig& config) {
+  SimulationEngine engine(config);
+  return engine.run();
+}
+
+}  // namespace gm::core

@@ -1,0 +1,156 @@
+#pragma once
+// Simulation engine: glues workload, cluster, energy supply, battery,
+// policy and power manager into one slot-driven run and produces a
+// metrics::RunResult. Two fidelities share the same energy accounting;
+// event-level additionally routes every foreground request through the
+// disk model on the DES kernel for QoS metrics.
+//
+// Per-slot sequence (DESIGN.md §3):
+//   1. admit released tasks, sort pending by deadline
+//   2. policy.decide() on forecasts + pool
+//   3. power manager applies the activation target (coverage,
+//      hysteresis, transition energy)
+//   4. tasks are assigned to active replica nodes (urgent first);
+//      migrations of displaced tasks are charged
+//   5. demand is integrated, the balance green-direct → battery →
+//      grid is settled, the ledger row is appended
+//   6. (event mode) requests inside the slot are routed
+
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/policy.hpp"
+#include "core/power_manager.hpp"
+#include "energy/battery.hpp"
+#include "energy/forecast.hpp"
+#include "energy/grid.hpp"
+#include "energy/ledger.hpp"
+#include "metrics/report.hpp"
+#include "sim/simulator.hpp"
+#include "storage/cluster.hpp"
+#include "storage/router.hpp"
+#include "workload/generator.hpp"
+
+namespace gm::core {
+
+struct RunArtifacts {
+  metrics::RunResult result;
+  energy::EnergyLedger ledger;                ///< per-slot series
+  std::vector<int> active_nodes_per_slot;
+  std::vector<double> task_util_per_slot;
+  std::vector<double> fg_util_per_slot;
+};
+
+class SimulationEngine {
+ public:
+  explicit SimulationEngine(const ExperimentConfig& config);
+
+  /// Runs to completion (workload + drain) and returns the artifacts.
+  RunArtifacts run();
+
+  // --- stepwise API (federation drives sites in lockstep) -----------
+  /// Total slots this run covers (workload + fixed drain).
+  SlotIndex total_slots() const;
+  /// Executes one slot; must be called with consecutive indices
+  /// starting at 0.
+  void run_slot(SlotIndex slot);
+  /// Assembles the result after the last slot. Call exactly once.
+  RunArtifacts finalize();
+
+  /// Forecast green power (W) and foreground utilization for a slot —
+  /// the signals a federation broker routes tasks by.
+  Watts slot_green_w(SlotIndex slot) const;
+  double slot_fg_util(SlotIndex slot) const;
+  std::size_t pending_count() const { return pending_.size(); }
+  /// Remaining work (seconds) across pending, non-running tasks.
+  Seconds pending_work_s() const;
+  /// The coverage floor (minimum active nodes) of this site.
+  int coverage_floor() const { return power_.min_feasible(); }
+
+  /// Removes and returns pending tasks that are safe to move to
+  /// another site: not running, not urgent, with at least
+  /// `min_slack_s` of slack at time `now`. At most `max_tasks`.
+  std::vector<PendingTask> extract_transferable_tasks(
+      SimTime now, Seconds min_slack_s, std::size_t max_tasks);
+  /// Admits a task arriving from another site. The caller must remap
+  /// `task.group` into this site's group universe.
+  void inject_task(const storage::BackgroundTask& task,
+                   Seconds remaining_s);
+
+  /// The workload in use (preset or generated from config.workload),
+  /// exposed so callers can inspect or archive the exact trace.
+  const workload::Workload& workload() const { return *workload_; }
+  const storage::Cluster& cluster() const { return cluster_; }
+  const energy::PowerSource& supply() const { return *supply_; }
+
+ private:
+  struct TaskState {
+    PendingTask pending;
+    bool completed = false;
+    SimTime completion = 0;
+  };
+
+  void admit_released_tasks(SimTime now);
+  /// Applies configured node failures/recoveries due by `now`; failed
+  /// nodes spawn one repair task per placement group they hosted.
+  void process_failures(SimTime now, SlotIndex slot);
+  SlotContext make_context(SlotIndex slot, SimTime start, SimTime end);
+  /// Sanitizes the policy's run set: dedups, forces urgent tasks, and
+  /// assigns tasks to active replica nodes. Returns indices into
+  /// pending_ of tasks that actually run, and accumulates migration
+  /// energy and counters.
+  std::vector<std::size_t> assign_tasks(const SlotDecision& decision,
+                                        SimTime now, Joules& migration_j);
+  void route_requests(SlotIndex slot, SimTime start, SimTime end);
+
+  ExperimentConfig config_;
+  storage::Cluster cluster_;
+  std::shared_ptr<const workload::Workload> workload_;
+  std::shared_ptr<const energy::PowerSource> supply_;
+  std::unique_ptr<energy::ForecastProvider> forecast_;
+  energy::Battery battery_;
+  energy::GridMeter grid_;
+  std::unique_ptr<SchedulerPolicy> policy_;
+  PowerManager power_;
+  storage::RequestRouter router_;
+  sim::Simulator simulator_;
+  ClusterFacts facts_;
+  SlotGrid slots_;
+
+  // Pending pool and task bookkeeping.
+  std::vector<PendingTask> pending_;
+  std::size_t next_task_index_ = 0;     ///< into workload_.tasks
+  std::size_t next_request_index_ = 0;  ///< into workload_.requests
+
+  // Per-slot foreground utilization (node-equivalents), precomputed.
+  std::vector<double> fg_util_;
+  // Per-slot green supply energy, precomputed once (the perfect
+  // forecaster and the balance loop both read it; the noisy forecaster
+  // still goes through forecast_).
+  std::vector<Joules> slot_green_j_;
+
+  // Outcome accumulators.
+  std::uint64_t tasks_completed_ = 0;
+  std::uint64_t deadline_misses_ = 0;
+  double sojourn_hours_sum_ = 0.0;
+  std::uint64_t forced_urgent_ = 0;
+  std::uint64_t assignment_failures_ = 0;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t power_ons_ = 0;
+  std::uint64_t power_offs_ = 0;
+  std::uint64_t nodes_failed_ = 0;
+  std::uint64_t tasks_admitted_ = 0;
+  bool finalized_ = false;
+  SlotIndex next_slot_ = 0;
+  RunArtifacts artifacts_;
+  std::size_t next_failure_index_ = 0;
+  std::vector<NodeFailureEvent> pending_recoveries_;
+  storage::TaskId next_repair_task_id_ = 2'000'000'000ULL;
+  sim::TimeWeighted active_nodes_tw_;
+};
+
+/// Convenience wrapper: construct, run, return artifacts.
+RunArtifacts run_experiment(const ExperimentConfig& config);
+
+}  // namespace gm::core

@@ -1,0 +1,421 @@
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "core/mincost_flow.hpp"
+#include "core/policies.hpp"
+#include "util/assert.hpp"
+#include "util/math_utils.hpp"
+
+namespace gm::core {
+namespace {
+
+/// Cost of covering one task slot-unit from the grid inside the
+/// horizon, and of deferring it past the horizon (unknown greenness:
+/// cheaper than certain brown, dearer than certain green). The |j|
+/// earliness tiebreak rides on top, so tiers must dominate it.
+constexpr long long kBrownUnitCost = 1'000'000;
+constexpr long long kBeyondHorizonCost = 400'000;
+/// Tiny per-boundary cost on stored energy: prefers direct green over
+/// battery round-trips of equal conversion cost, and earlier
+/// discharge over hoarding.
+constexpr long long kCarryCost = 1;
+
+/// Marginal energy of one task running for one slot: its dynamic power
+/// plus an amortized share of the idle floor of the node hosting it.
+Joules unit_energy_for(const ClusterFacts& facts,
+                       const std::vector<PendingTask>& pending) {
+  double mean_util = 0.30;
+  if (!pending.empty()) {
+    double sum = 0.0;
+    for (const auto& p : pending) sum += p.task.utilization;
+    mean_util = sum / static_cast<double>(pending.size());
+  }
+  const Watts spread = facts.node_peak_w - facts.node_idle_floor_w;
+  const double amortized_idle =
+      facts.task_slots_per_node > 0
+          ? facts.node_idle_floor_w /
+                static_cast<double>(facts.task_slots_per_node)
+          : 0.0;
+  return (spread * mean_util + amortized_idle) * facts.slot_length_s;
+}
+
+/// Slot-units a task still needs.
+long long units_needed(const PendingTask& p, Seconds slot_len) {
+  return std::max<long long>(
+      1, static_cast<long long>(std::ceil(p.remaining_s / slot_len)));
+}
+
+/// Latest horizon slot (exclusive) a task may still use. One slot of
+/// safety margin is reserved so that replica-locality or capacity
+/// conflicts in the final slot (which the planner's global capacity
+/// view cannot see) do not turn directly into deadline misses.
+std::size_t feasible_horizon(const PendingTask& p, SimTime start,
+                             Seconds slot_len, std::size_t horizon) {
+  if (p.task.deadline <= start) return 1;  // overdue: run immediately
+  const auto slots_left = static_cast<std::size_t>(std::ceil(
+      static_cast<double>(p.task.deadline - start) / slot_len));
+  const std::size_t margin = slots_left > 2 ? slots_left - 1 : slots_left;
+  return std::min(horizon, std::max<std::size_t>(1, margin));
+}
+
+}  // namespace
+
+GreenMatchPolicy::GreenMatchPolicy(int horizon_slots, bool greedy,
+                                   bool replan_every_slot,
+                                   bool battery_aware, bool carbon_aware)
+    : horizon_(horizon_slots),
+      greedy_(greedy),
+      replan_every_slot_(replan_every_slot),
+      battery_aware_(battery_aware),
+      carbon_aware_(carbon_aware) {
+  GM_CHECK(horizon_slots >= 1, "horizon must be >= 1");
+}
+
+long long GreenMatchPolicy::brown_cost_for_slot(const SlotContext& ctx,
+                                                std::size_t j) const {
+  if (!carbon_aware_ || ctx.grid_carbon_g_per_kwh.empty())
+    return kBrownUnitCost;
+  // Scale the brown penalty by this slot's carbon intensity relative
+  // to the horizon mean, so clean-grid hours become relatively cheap.
+  double sum = 0.0;
+  for (double g : ctx.grid_carbon_g_per_kwh) sum += g;
+  const double mean =
+      sum / static_cast<double>(ctx.grid_carbon_g_per_kwh.size());
+  const double g = j < ctx.grid_carbon_g_per_kwh.size()
+                       ? ctx.grid_carbon_g_per_kwh[j]
+                       : mean;
+  if (mean <= 0.0) return kBrownUnitCost;
+  return static_cast<long long>(
+      std::llround(kBrownUnitCost * clamp(g / mean, 0.2, 5.0)));
+}
+
+Watts GreenMatchPolicy::committed_power_w(const SlotContext& ctx,
+                                          std::size_t j) const {
+  const Watts spread = facts_.node_peak_w - facts_.node_idle_floor_w;
+  const double fg =
+      j < ctx.foreground_util_forecast.size()
+          ? ctx.foreground_util_forecast[j]
+          : (ctx.foreground_util_forecast.empty()
+                 ? 0.0
+                 : ctx.foreground_util_forecast.back());
+  const int fg_nodes = nodes_for_load(fg, 0);
+  return fg_nodes * facts_.node_idle_floor_w + spread * fg;
+}
+
+std::vector<long long> GreenMatchPolicy::green_units(
+    const SlotContext& ctx, Joules unit_energy_j) const {
+  const auto horizon = static_cast<std::size_t>(
+      std::min<std::size_t>(horizon_, ctx.green_forecast_w.size()));
+  std::vector<long long> units(horizon, 0);
+  for (std::size_t j = 0; j < horizon; ++j) {
+    const Joules surplus_j_energy =
+        std::max(0.0, (ctx.green_forecast_w[j] - committed_power_w(ctx, j))) *
+        facts_.slot_length_s;
+    units[j] = static_cast<long long>(surplus_j_energy / unit_energy_j);
+  }
+  return units;
+}
+
+std::vector<Joules> GreenMatchPolicy::project_battery(
+    const SlotContext& ctx, std::size_t horizon) const {
+  // Battery trajectory if only the committed (foreground + coverage
+  // floor) load ran: foreground has priority on stored energy, so the
+  // planner may only count on what this projection leaves behind.
+  std::vector<Joules> proj(horizon + 1, 0.0);
+  proj[0] = ctx.battery_stored_j;
+  const double slot_len = facts_.slot_length_s;
+  const double sigma = clamp(ctx.battery_charge_efficiency, 0.05, 1.0);
+  for (std::size_t j = 0; j < horizon; ++j) {
+    const Joules green_e = ctx.green_forecast_w[j] * slot_len;
+    const Joules committed_e = committed_power_w(ctx, j) * slot_len;
+    Joules stored = proj[j];
+    if (green_e >= committed_e) {
+      const Joules drawn = std::min(
+          {green_e - committed_e, ctx.battery_max_charge_w * slot_len,
+           (ctx.battery_usable_capacity_j - stored) / sigma});
+      stored += std::max(0.0, drawn) * sigma;
+    } else {
+      const Joules need = committed_e - green_e;
+      stored -= std::min(
+          {need, ctx.battery_max_discharge_w * slot_len, stored});
+    }
+    proj[j + 1] = stored;
+  }
+  return proj;
+}
+
+// The matching network (battery-aware form). Flow goes task → slot →
+// supply; the battery is a time-expanded chain of boundary nodes so a
+// unit consumed in slot j can be green that was produced (and stored)
+// in any earlier slot k, paying the storage conversion penalty once:
+//
+//   S → task_i                (remaining slot-units)
+//   task_i → slot_j           (cap 1, cost j: earliness tiebreak)
+//   task_i → beyond           (deadline past horizon: deferral)
+//   slot_j → G_j              (direct green use at j)
+//   slot_j → B_j              (battery discharge at j, rate-capped)
+//   B_j → B_{j-1}             (carry stored energy back to its origin;
+//                              cap = usable capacity, tiny cost)
+//   B_{k+1} → G_k             (green of slot k charged in, rate-capped,
+//                              cost = conversion-loss penalty)
+//   B_0 → sink                (initial state of charge)
+//   G_j → sink                (green production of slot j)
+//   slot_j → sink             (grid, cost kBrownUnitCost)
+SlotDecision GreenMatchPolicy::plan_flow(const SlotContext& ctx) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto horizon = static_cast<std::size_t>(
+      std::min<std::size_t>(horizon_, ctx.green_forecast_w.size()));
+  const auto n_tasks = ctx.pending.size();
+  const int h = static_cast<int>(horizon);
+
+  const Joules unit_energy = unit_energy_for(facts_, ctx.pending);
+  const auto green = green_units(ctx, unit_energy);
+
+  const bool battery = battery_aware_ &&
+                       ctx.battery_usable_capacity_j > unit_energy;
+
+  // Node layout.
+  const int source = 0;
+  const int slot_base = static_cast<int>(n_tasks) + 1;
+  const int g_base = slot_base + h;
+  const int b_base = g_base + h;            // B_0 .. B_h (h+1 nodes)
+  const int beyond = b_base + (battery ? h + 1 : 0);
+  const int sink = beyond + 1;
+  MinCostFlow flow(sink + 1);
+
+  const long long cap_per_slot =
+      static_cast<long long>(facts_.total_nodes) *
+      facts_.task_slots_per_node;
+
+  long long total_units = 0;
+  std::vector<int> slot0_edge(n_tasks, -1);
+  // (task, horizon offset, edge id) for plan caching.
+  std::vector<std::tuple<std::size_t, int, int>> task_slot_edges;
+
+  const SimTime horizon_end =
+      ctx.start + static_cast<SimTime>(horizon * facts_.slot_length_s);
+
+  for (std::size_t i = 0; i < n_tasks; ++i) {
+    const auto& p = ctx.pending[i];
+    const long long units = units_needed(p, facts_.slot_length_s);
+    total_units += units;
+    flow.add_edge(source, static_cast<int>(i) + 1, units, 0);
+
+    const std::size_t jmax =
+        feasible_horizon(p, ctx.start, facts_.slot_length_s, horizon);
+    for (std::size_t j = 0; j < jmax; ++j) {
+      const int edge =
+          flow.add_edge(static_cast<int>(i) + 1,
+                        slot_base + static_cast<int>(j), 1,
+                        static_cast<long long>(j));
+      if (j == 0) slot0_edge[i] = edge;
+      if (!replan_every_slot_)
+        task_slot_edges.emplace_back(i, static_cast<int>(j), edge);
+    }
+    if (p.task.deadline > horizon_end) {
+      const auto beyond_slots = static_cast<long long>(
+          std::floor(static_cast<double>(p.task.deadline - horizon_end) /
+                     facts_.slot_length_s));
+      if (beyond_slots > 0)
+        flow.add_edge(static_cast<int>(i) + 1, beyond,
+                      std::min(units, beyond_slots), kBeyondHorizonCost);
+    }
+  }
+
+  for (int j = 0; j < h; ++j) {
+    // Direct green at j, then grid.
+    flow.add_edge(slot_base + j, g_base + j, cap_per_slot, 0);
+    flow.add_edge(g_base + j, sink, std::min(green[j], cap_per_slot), 0);
+    flow.add_edge(slot_base + j, sink, cap_per_slot,
+                  brown_cost_for_slot(ctx, static_cast<std::size_t>(j)));
+  }
+
+  if (battery) {
+    const double slot_len = facts_.slot_length_s;
+    const auto to_units = [&](Joules e) {
+      return static_cast<long long>(e / unit_energy);
+    };
+    const long long discharge_units =
+        to_units(ctx.battery_max_discharge_w * slot_len);
+    const long long charge_units =
+        to_units(ctx.battery_max_charge_w * slot_len);
+    const auto projected = project_battery(ctx, horizon);
+    // slack[j]: stored energy at boundary j that the fg-priority
+    // program never consumes afterwards — safe for tasks to take.
+    std::vector<Joules> slack(projected.size());
+    Joules running_min = projected.back();
+    for (std::size_t j = projected.size(); j-- > 0;) {
+      running_min = std::min(running_min, projected[j]);
+      slack[j] = running_min;
+    }
+    const long long initial_units = to_units(slack[0]);
+    const double sigma = clamp(ctx.battery_charge_efficiency, 0.05, 1.0);
+    const auto store_penalty = static_cast<long long>(
+        std::llround((1.0 / sigma - 1.0) * kBrownUnitCost));
+
+    for (int j = 0; j < h; ++j) {
+      if (discharge_units > 0)
+        flow.add_edge(slot_base + j, b_base + j,
+                      std::min(discharge_units, cap_per_slot), 0);
+      if (charge_units > 0)
+        flow.add_edge(b_base + j + 1, g_base + j, charge_units,
+                      store_penalty);
+    }
+    // Carry capacity across a boundary: room the fg program leaves for
+    // task-purpose charge (headroom) plus stored energy the fg program
+    // never touches again (slack).
+    for (int j = h; j >= 1; --j) {
+      const auto idx = static_cast<std::size_t>(j);
+      const Joules headroom = std::max(
+          0.0, ctx.battery_usable_capacity_j - projected[idx]);
+      flow.add_edge(b_base + j, b_base + j - 1,
+                    to_units(headroom + slack[idx]), kCarryCost);
+    }
+    if (initial_units > 0)
+      flow.add_edge(b_base + 0, sink, initial_units, 0);
+  }
+
+  flow.add_edge(beyond, sink, total_units, 0);
+
+  flow.solve(source, sink, total_units);
+
+  SlotDecision decision;
+  double util = ctx.foreground_util;
+  int count = 0;
+  for (std::size_t i = 0; i < n_tasks; ++i) {
+    if (slot0_edge[i] >= 0 && flow.flow_on(slot0_edge[i]) > 0) {
+      decision.run_tasks.push_back(ctx.pending[i].task.id);
+      util += ctx.pending[i].task.utilization;
+      ++count;
+    }
+  }
+  decision.target_active_nodes = nodes_for_load(util, count);
+  decision.eco_speed = green.empty() || green[0] <= 0;
+
+  if (!replan_every_slot_) {
+    plan_base_ = ctx.slot;
+    plan_offsets_.clear();
+    for (const auto& [i, j, edge] : task_slot_edges)
+      if (flow.flow_on(edge) > 0)
+        plan_offsets_[ctx.pending[i].task.id].push_back(j);
+    // Tasks with no in-horizon assignment still belong to the plan
+    // (deferred beyond the horizon): record them with no offsets.
+    for (const auto& p : ctx.pending)
+      plan_offsets_.try_emplace(p.task.id);
+  }
+
+  const auto t1 = std::chrono::steady_clock::now();
+  solve_ms_total_ +=
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return decision;
+}
+
+SlotDecision GreenMatchPolicy::plan_greedy(const SlotContext& ctx) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto horizon = static_cast<std::size_t>(
+      std::min<std::size_t>(horizon_, ctx.green_forecast_w.size()));
+
+  const Joules unit_energy = unit_energy_for(facts_, ctx.pending);
+  auto green_left = green_units(ctx, unit_energy);
+  const long long cap_per_slot =
+      static_cast<long long>(facts_.total_nodes) *
+      facts_.task_slots_per_node;
+  std::vector<long long> cap_left(horizon, cap_per_slot);
+
+  SlotDecision decision;
+  double util = ctx.foreground_util;
+  int count = 0;
+
+  // Deadline order (pending is pre-sorted). Each task places its
+  // required units: green slots first (earliest), then deferral beyond
+  // the horizon if the deadline allows, then earliest brown slots.
+  for (const auto& p : ctx.pending) {
+    long long units = units_needed(p, facts_.slot_length_s);
+    const std::size_t jmax =
+        feasible_horizon(p, ctx.start, facts_.slot_length_s, horizon);
+
+    std::vector<std::size_t> chosen;
+    // Pass 1: earliest green slots.
+    for (std::size_t j = 0; j < jmax && units > 0; ++j) {
+      if (green_left[j] > 0 && cap_left[j] > 0) {
+        chosen.push_back(j);
+        --green_left[j];
+        --cap_left[j];
+        --units;
+      }
+    }
+    // Pass 2: defer beyond horizon when the deadline allows.
+    const SimTime horizon_end =
+        ctx.start +
+        static_cast<SimTime>(horizon * facts_.slot_length_s);
+    if (units > 0 && p.task.deadline > horizon_end) {
+      const auto beyond_slots = static_cast<long long>(
+          std::floor(static_cast<double>(p.task.deadline - horizon_end) /
+                     facts_.slot_length_s));
+      units -= std::min(units, beyond_slots);
+    }
+    // Pass 3: earliest remaining (brown) slots.
+    for (std::size_t j = 0; j < jmax && units > 0; ++j) {
+      if (cap_left[j] > 0 &&
+          std::find(chosen.begin(), chosen.end(), j) == chosen.end()) {
+        chosen.push_back(j);
+        --cap_left[j];
+        --units;
+      }
+    }
+    if (std::find(chosen.begin(), chosen.end(), 0u) != chosen.end()) {
+      decision.run_tasks.push_back(p.task.id);
+      util += p.task.utilization;
+      ++count;
+    }
+  }
+
+  decision.target_active_nodes = nodes_for_load(util, count);
+  decision.eco_speed = green_left.empty();
+  if (!green_left.empty()) {
+    const auto original = green_units(ctx, unit_energy);
+    decision.eco_speed = original[0] <= 0;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  solve_ms_total_ +=
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return decision;
+}
+
+std::optional<SlotDecision> GreenMatchPolicy::cached_decision(
+    const SlotContext& ctx) {
+  if (replan_every_slot_ || greedy_ || plan_base_ < 0) return std::nullopt;
+  const SlotIndex offset = ctx.slot - plan_base_;
+  const SlotIndex replan_interval = std::max(1, horizon_ / 2);
+  if (offset <= 0 || offset >= replan_interval) return std::nullopt;
+  // Any task the plan has not seen invalidates the cache.
+  for (const auto& p : ctx.pending)
+    if (!plan_offsets_.count(p.task.id)) return std::nullopt;
+
+  SlotDecision decision;
+  double util = ctx.foreground_util;
+  int count = 0;
+  for (const auto& p : ctx.pending) {
+    const auto& offsets = plan_offsets_.at(p.task.id);
+    if (std::find(offsets.begin(), offsets.end(),
+                  static_cast<int>(offset)) != offsets.end()) {
+      decision.run_tasks.push_back(p.task.id);
+      util += p.task.utilization;
+      ++count;
+    }
+  }
+  decision.target_active_nodes = nodes_for_load(util, count);
+  decision.eco_speed =
+      !ctx.green_forecast_w.empty() &&
+      ctx.green_forecast_w[0] <= facts_.node_idle_floor_w * 0.01;
+  ++plan_cache_hits_;
+  return decision;
+}
+
+SlotDecision GreenMatchPolicy::decide(const SlotContext& ctx) {
+  if (auto cached = cached_decision(ctx)) return *cached;
+  return greedy_ ? plan_greedy(ctx) : plan_flow(ctx);
+}
+
+}  // namespace gm::core

@@ -1,0 +1,101 @@
+#include "core/mincost_flow.hpp"
+
+#include <algorithm>
+#include <climits>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace gm::core {
+
+MinCostFlow::MinCostFlow(int node_count) {
+  GM_CHECK(node_count > 0, "flow network needs at least one node");
+  graph_.resize(node_count);
+}
+
+int MinCostFlow::add_edge(NodeIdx from, NodeIdx to, long long capacity,
+                          long long cost) {
+  GM_CHECK(from >= 0 && from < node_count() && to >= 0 &&
+               to < node_count(),
+           "flow edge endpoint out of range: " << from << " -> " << to);
+  GM_CHECK(capacity >= 0, "negative edge capacity");
+  GM_CHECK(cost >= 0, "SSP requires non-negative edge costs, got " << cost);
+  const int fwd = static_cast<int>(graph_[from].size());
+  const int rev = static_cast<int>(graph_[to].size()) + (from == to ? 1 : 0);
+  graph_[from].push_back(Edge{to, capacity, cost, rev});
+  graph_[to].push_back(Edge{from, 0, -cost, fwd});
+  edge_refs_.emplace_back(from, fwd);
+  return static_cast<int>(edge_refs_.size()) - 1;
+}
+
+MinCostFlow::Result MinCostFlow::solve(NodeIdx s, NodeIdx t,
+                                       long long max_flow) {
+  GM_CHECK(s >= 0 && s < node_count() && t >= 0 && t < node_count(),
+           "flow terminal out of range");
+  GM_CHECK(s != t, "source equals sink");
+
+  const int n = node_count();
+  std::vector<long long> potential(n, 0);  // valid: all costs >= 0
+  std::vector<long long> dist(n);
+  std::vector<int> prev_node(n), prev_edge(n);
+
+  Result result;
+  while (result.flow < max_flow) {
+    // Dijkstra on reduced costs.
+    std::fill(dist.begin(), dist.end(), kInfCost);
+    dist[s] = 0;
+    using Entry = std::pair<long long, NodeIdx>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+    pq.emplace(0, s);
+    while (!pq.empty()) {
+      const auto [d, u] = pq.top();
+      pq.pop();
+      if (d > dist[u]) continue;
+      for (int i = 0; i < static_cast<int>(graph_[u].size()); ++i) {
+        const Edge& e = graph_[u][i];
+        if (e.capacity <= 0) continue;
+        const long long nd = d + e.cost + potential[u] - potential[e.to];
+        GM_ASSERT_MSG(e.cost + potential[u] - potential[e.to] >= 0,
+                      "negative reduced cost — potentials invalid");
+        if (nd < dist[e.to]) {
+          dist[e.to] = nd;
+          prev_node[e.to] = u;
+          prev_edge[e.to] = i;
+          pq.emplace(nd, e.to);
+        }
+      }
+    }
+    if (dist[t] >= kInfCost) break;  // no augmenting path
+
+    for (int v = 0; v < n; ++v)
+      if (dist[v] < kInfCost) potential[v] += dist[v];
+
+    // Bottleneck along the path.
+    long long push = max_flow - result.flow;
+    for (NodeIdx v = t; v != s; v = prev_node[v])
+      push = std::min(push,
+                      graph_[prev_node[v]][prev_edge[v]].capacity);
+    GM_ASSERT(push > 0);
+
+    for (NodeIdx v = t; v != s; v = prev_node[v]) {
+      Edge& e = graph_[prev_node[v]][prev_edge[v]];
+      e.capacity -= push;
+      graph_[v][e.rev].capacity += push;
+      result.cost += push * e.cost;
+    }
+    result.flow += push;
+  }
+  return result;
+}
+
+long long MinCostFlow::flow_on(int edge_index) const {
+  GM_CHECK(edge_index >= 0 &&
+               edge_index < static_cast<int>(edge_refs_.size()),
+           "edge index out of range: " << edge_index);
+  const auto [node, idx] = edge_refs_[edge_index];
+  const Edge& fwd = graph_[node][idx];
+  // Flow pushed equals the reverse edge's residual capacity.
+  return graph_[fwd.to][fwd.rev].capacity;
+}
+
+}  // namespace gm::core

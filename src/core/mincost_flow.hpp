@@ -1,0 +1,51 @@
+#pragma once
+// Min-cost max-flow via successive shortest paths with Johnson
+// potentials (Dijkstra per augmentation). This is the matching engine
+// behind the GreenMatch planner: tasks are matched to (slot, capacity)
+// bins at a cost proportional to the expected brown energy of running
+// there. Costs must be non-negative; capacities are integers.
+
+#include <climits>
+#include <cstdint>
+#include <vector>
+
+namespace gm::core {
+
+class MinCostFlow {
+ public:
+  using NodeIdx = int;
+  static constexpr long long kInfCost = LLONG_MAX / 4;
+
+  explicit MinCostFlow(int node_count);
+
+  /// Adds a directed edge; returns its index (for flow inspection).
+  int add_edge(NodeIdx from, NodeIdx to, long long capacity,
+               long long cost);
+
+  struct Result {
+    long long flow = 0;
+    long long cost = 0;
+  };
+
+  /// Sends up to `max_flow` units from s to t at minimum total cost.
+  Result solve(NodeIdx s, NodeIdx t, long long max_flow = LLONG_MAX / 4);
+
+  /// Flow currently on edge `edge_index` (after solve).
+  long long flow_on(int edge_index) const;
+
+  int node_count() const { return static_cast<int>(graph_.size()); }
+
+ private:
+  struct Edge {
+    NodeIdx to;
+    long long capacity;  ///< residual capacity
+    long long cost;
+    int rev;  ///< index of reverse edge in graph_[to]
+  };
+
+  std::vector<std::vector<Edge>> graph_;
+  /// (node, edge list index) of each externally added edge.
+  std::vector<std::pair<NodeIdx, int>> edge_refs_;
+};
+
+}  // namespace gm::core

@@ -1,0 +1,73 @@
+#include <algorithm>
+
+#include "core/policies.hpp"
+#include "util/assert.hpp"
+
+namespace gm::core {
+
+OpportunisticPolicy::OpportunisticPolicy(double deferral_fraction,
+                                         std::uint64_t seed)
+    : deferral_fraction_(deferral_fraction), rng_(seed) {
+  GM_CHECK(deferral_fraction >= 0.0 && deferral_fraction <= 1.0,
+           "deferral fraction must be in [0, 1]");
+}
+
+std::uint8_t OpportunisticPolicy::admit(const storage::BackgroundTask&) {
+  return rng_.bernoulli(deferral_fraction_) ? kTagDelayed : 0;
+}
+
+SlotDecision OpportunisticPolicy::decide(const SlotContext& ctx) {
+  SlotDecision decision;
+  const Watts green_w =
+      ctx.green_forecast_w.empty() ? 0.0 : ctx.green_forecast_w[0];
+  const double util_cap =
+      facts_.total_nodes * facts_.max_utilization_per_node;
+  const int slot_cap = facts_.total_nodes * facts_.task_slots_per_node;
+
+  // Estimated cluster power for a candidate load (the same linear
+  // model the engine integrates, so the comparison is honest).
+  const auto power_for = [&](double util, int tasks) {
+    const int nodes = nodes_for_load(util, tasks);
+    const Watts spread =
+        facts_.node_peak_w - facts_.node_idle_floor_w;
+    return nodes * facts_.node_idle_floor_w + spread * util;
+  };
+
+  double util = ctx.foreground_util;
+  int count = 0;
+
+  // Mandatory set: urgent tasks and tasks that lost the delay lottery.
+  for (const auto& p : ctx.pending) {
+    const bool delayed = p.policy_tag == kTagDelayed;
+    const bool must = p.urgent(ctx.start, facts_.slot_length_s);
+    if (!delayed || must) {
+      if (count >= slot_cap || util + p.task.utilization > util_cap)
+        continue;
+      decision.run_tasks.push_back(p.task.id);
+      util += p.task.utilization;
+      ++count;
+    }
+  }
+
+  // Delayed tasks join only while the green supply covers the
+  // resulting cluster power (deadline order = pending order).
+  for (const auto& p : ctx.pending) {
+    const bool delayed = p.policy_tag == kTagDelayed;
+    const bool must = p.urgent(ctx.start, facts_.slot_length_s);
+    if (!delayed || must) continue;
+    if (count >= slot_cap || util + p.task.utilization > util_cap)
+      continue;
+    if (power_for(util + p.task.utilization, count + 1) > green_w) continue;
+    decision.run_tasks.push_back(p.task.id);
+    util += p.task.utilization;
+    ++count;
+  }
+
+  decision.target_active_nodes = nodes_for_load(util, count);
+  // Eco mode when the sun cannot even carry the idle floor: whatever
+  // runs now is grid-powered, so run it efficiently.
+  decision.eco_speed = green_w < facts_.node_idle_floor_w;
+  return decision;
+}
+
+}  // namespace gm::core

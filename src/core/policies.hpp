@@ -1,0 +1,112 @@
+#pragma once
+// Concrete scheduler policies. See policy.hpp for the interface and
+// DESIGN.md §3.4 for the GreenMatch planning algorithm.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "core/policy.hpp"
+#include "util/rng.hpp"
+
+namespace gm::core {
+
+/// Energy-oblivious baseline: run every pending task as soon as
+/// capacity allows. With a battery attached this is the lineage's
+/// "ESD-only" configuration — all renewable-awareness lives in the
+/// passive charge-surplus/discharge-deficit battery loop.
+class AsapPolicy final : public SchedulerPolicy {
+ public:
+  const char* name() const override { return "asap"; }
+  SlotDecision decide(const SlotContext& ctx) override;
+};
+
+/// Static time-window baseline: background tasks run only inside a
+/// fixed daily window (default 9h–17h, the naive "solar hours" rule);
+/// urgent tasks override the window.
+class NightShiftPolicy final : public SchedulerPolicy {
+ public:
+  NightShiftPolicy(double window_start_h, double window_end_h);
+  const char* name() const override { return "night-shift"; }
+  SlotDecision decide(const SlotContext& ctx) override;
+
+ private:
+  double start_h_;
+  double end_h_;
+};
+
+/// Opportunistic delay-until-green: a `deferral_fraction` lottery
+/// marks tasks as delayed at admission; delayed tasks wait until the
+/// current green surplus can power them (or until their slack runs
+/// out), the rest behave like ASAP. Reactive: looks only at the
+/// current slot's forecast.
+class OpportunisticPolicy final : public SchedulerPolicy {
+ public:
+  OpportunisticPolicy(double deferral_fraction, std::uint64_t seed);
+  const char* name() const override { return "opportunistic"; }
+  std::uint8_t admit(const storage::BackgroundTask& task) override;
+  SlotDecision decide(const SlotContext& ctx) override;
+
+  static constexpr std::uint8_t kTagDelayed = 1;
+
+ private:
+  double deferral_fraction_;
+  Rng rng_;
+};
+
+/// GreenMatch: plans task placement over a forecast horizon by solving
+/// a min-cost flow that matches task slot-units to time slots, where
+/// green-covered units are free and grid-covered units pay a brown
+/// penalty. `greedy` swaps the flow solver for an
+/// earliest-greenest-fit heuristic (the ablation variant).
+class GreenMatchPolicy final : public SchedulerPolicy {
+ public:
+  GreenMatchPolicy(int horizon_slots, bool greedy, bool replan_every_slot,
+                   bool battery_aware = false, bool carbon_aware = false);
+  const char* name() const override {
+    return greedy_ ? "greenmatch-greedy" : "greenmatch";
+  }
+  SlotDecision decide(const SlotContext& ctx) override;
+
+  /// Cumulative planner CPU time (telemetry for the report).
+  double solve_ms_total() const { return solve_ms_total_; }
+  /// Slots answered from the cached plan (replan_every_slot = false).
+  std::uint64_t plan_cache_hits() const { return plan_cache_hits_; }
+
+ private:
+  SlotDecision plan_flow(const SlotContext& ctx);
+  SlotDecision plan_greedy(const SlotContext& ctx);
+  /// Power committed to foreground work + its coverage floor in
+  /// horizon slot j.
+  Watts committed_power_w(const SlotContext& ctx, std::size_t j) const;
+  /// Green slot-units available per horizon slot after foreground and
+  /// coverage-floor power are served.
+  std::vector<long long> green_units(const SlotContext& ctx,
+                                     Joules unit_energy_j) const;
+  /// Battery trajectory under the foreground-priority program (no
+  /// background tasks), per slot boundary 0..horizon.
+  std::vector<Joules> project_battery(const SlotContext& ctx,
+                                      std::size_t horizon) const;
+  /// Grid-tier cost for slot j (carbon-scaled when carbon-aware).
+  long long brown_cost_for_slot(const SlotContext& ctx,
+                                std::size_t j) const;
+
+  /// Serves the current slot from the cached multi-slot plan when it
+  /// is still valid (no new tasks since planning, within the replan
+  /// interval). Returns nullopt when a fresh solve is needed.
+  std::optional<SlotDecision> cached_decision(const SlotContext& ctx);
+
+  int horizon_;
+  bool greedy_;
+  bool replan_every_slot_;
+  bool battery_aware_;
+  bool carbon_aware_;
+  double solve_ms_total_ = 0.0;
+  std::uint64_t plan_cache_hits_ = 0;
+
+  // Cached plan state (replan_every_slot_ == false).
+  SlotIndex plan_base_ = -1;
+  std::unordered_map<storage::TaskId, std::vector<int>> plan_offsets_;
+};
+
+}  // namespace gm::core

@@ -1,0 +1,178 @@
+#include "energy/battery.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace gm::energy {
+
+const char* battery_technology_name(BatteryTechnology tech) {
+  switch (tech) {
+    case BatteryTechnology::kLeadAcid: return "lead-acid";
+    case BatteryTechnology::kLithiumIon: return "lithium-ion";
+    case BatteryTechnology::kCustom: return "custom";
+  }
+  return "?";
+}
+
+Watts BatteryConfig::max_charge_w() const {
+  return capacity_j * charge_rate_c_per_hour / kSecondsPerHour;
+}
+
+Watts BatteryConfig::max_discharge_w() const {
+  return max_charge_w() * discharge_to_charge_ratio;
+}
+
+double BatteryConfig::volume_l() const {
+  return j_to_wh(capacity_j) / energy_density_wh_per_l;
+}
+
+double BatteryConfig::price_usd() const {
+  return j_to_kwh(capacity_j) * price_per_kwh_usd;
+}
+
+BatteryConfig BatteryConfig::lead_acid(Joules capacity_j) {
+  BatteryConfig c;
+  c.technology = BatteryTechnology::kLeadAcid;
+  c.capacity_j = capacity_j;
+  c.depth_of_discharge = 0.8;
+  c.charge_efficiency = 0.75;
+  c.discharge_efficiency = 1.0;
+  c.charge_rate_c_per_hour = 0.125;
+  c.discharge_to_charge_ratio = 10.0;
+  c.self_discharge_per_day = 0.003;
+  c.price_per_kwh_usd = 200.0;
+  c.energy_density_wh_per_l = 78.0;
+  c.cycle_life_cycles = 1500.0;
+  c.validate();
+  return c;
+}
+
+BatteryConfig BatteryConfig::lithium_ion(Joules capacity_j) {
+  BatteryConfig c;
+  c.technology = BatteryTechnology::kLithiumIon;
+  c.capacity_j = capacity_j;
+  c.depth_of_discharge = 0.8;
+  c.charge_efficiency = 0.85;
+  c.discharge_efficiency = 1.0;
+  c.charge_rate_c_per_hour = 0.25;
+  c.discharge_to_charge_ratio = 5.0;
+  c.self_discharge_per_day = 0.001;
+  c.price_per_kwh_usd = 525.0;
+  c.energy_density_wh_per_l = 150.0;
+  c.cycle_life_cycles = 4000.0;
+  c.validate();
+  return c;
+}
+
+BatteryConfig BatteryConfig::ideal(Joules capacity_j) {
+  BatteryConfig c;
+  c.technology = BatteryTechnology::kCustom;
+  c.capacity_j = capacity_j;
+  c.depth_of_discharge = 1.0;
+  c.charge_efficiency = 1.0;
+  c.discharge_efficiency = 1.0;
+  c.charge_rate_c_per_hour = 1e9;  // effectively unlimited
+  c.discharge_to_charge_ratio = 1.0;
+  c.self_discharge_per_day = 0.0;
+  c.validate();
+  return c;
+}
+
+void BatteryConfig::validate() const {
+  GM_CHECK(capacity_j >= 0.0, "battery capacity must be non-negative");
+  GM_CHECK(depth_of_discharge > 0.0 && depth_of_discharge <= 1.0,
+           "DoD must be in (0, 1]: " << depth_of_discharge);
+  GM_CHECK(charge_efficiency > 0.0 && charge_efficiency <= 1.0,
+           "charge efficiency must be in (0, 1]");
+  GM_CHECK(discharge_efficiency > 0.0 && discharge_efficiency <= 1.0,
+           "discharge efficiency must be in (0, 1]");
+  GM_CHECK(charge_rate_c_per_hour > 0.0, "charge rate must be positive");
+  GM_CHECK(discharge_to_charge_ratio > 0.0,
+           "discharge/charge ratio must be positive");
+  GM_CHECK(self_discharge_per_day >= 0.0 && self_discharge_per_day < 1.0,
+           "self-discharge must be in [0, 1)");
+  GM_CHECK(initial_soc_fraction >= 0.0 && initial_soc_fraction <= 1.0,
+           "initial SoC must be in [0, 1]");
+  GM_CHECK(cycle_life_cycles >= 0.0, "negative cycle life");
+  GM_CHECK(end_of_life_capacity_fraction > 0.0 &&
+               end_of_life_capacity_fraction <= 1.0,
+           "end-of-life fraction must be in (0, 1]");
+}
+
+Battery::Battery(const BatteryConfig& config) : config_(config) {
+  config_.validate();
+  initial_stored_j_ = usable_capacity_j() * config_.initial_soc_fraction;
+  stored_j_ = initial_stored_j_;
+}
+
+Joules Battery::charge_capacity_j(Seconds dt) const {
+  GM_ASSERT(dt >= 0.0);
+  // Acceptance is limited on the input side by the rate cap, and on
+  // the storage side by degradation-adjusted headroom after
+  // conversion.
+  const Joules rate_cap = config_.max_charge_w() * dt;
+  const Joules headroom_cap =
+      std::max(0.0, effective_usable_capacity_j() - stored_j_) /
+      config_.charge_efficiency;
+  return std::max(0.0, std::min(rate_cap, headroom_cap));
+}
+
+Joules Battery::charge(Joules offered_j, Seconds dt) {
+  GM_CHECK(offered_j >= 0.0, "cannot charge negative energy");
+  const Joules drawn = std::min(offered_j, charge_capacity_j(dt));
+  const Joules stored_gain = drawn * config_.charge_efficiency;
+  stored_j_ = std::min(stored_j_ + stored_gain,
+                       effective_usable_capacity_j());
+  total_in_j_ += drawn;
+  conversion_loss_j_ += drawn - stored_gain;
+  return drawn;
+}
+
+Joules Battery::discharge_capacity_j(Seconds dt) const {
+  GM_ASSERT(dt >= 0.0);
+  const Joules rate_cap = config_.max_discharge_w() * dt;
+  const Joules stored_cap = stored_j_ * config_.discharge_efficiency;
+  return std::max(0.0, std::min(rate_cap, stored_cap));
+}
+
+Joules Battery::discharge(Joules requested_j, Seconds dt) {
+  GM_CHECK(requested_j >= 0.0, "cannot discharge negative energy");
+  const Joules delivered = std::min(requested_j, discharge_capacity_j(dt));
+  const Joules stored_drop = delivered / config_.discharge_efficiency;
+  stored_j_ = std::max(0.0, stored_j_ - stored_drop);
+  total_out_j_ += delivered;
+  conversion_loss_j_ += stored_drop - delivered;
+  return delivered;
+}
+
+void Battery::apply_self_discharge(Seconds dt) {
+  GM_CHECK(dt >= 0.0, "negative self-discharge interval");
+  if (config_.self_discharge_per_day <= 0.0 || stored_j_ <= 0.0) return;
+  const double keep = std::pow(1.0 - config_.self_discharge_per_day,
+                               dt / kSecondsPerDay);
+  const Joules lost = stored_j_ * (1.0 - keep);
+  stored_j_ -= lost;
+  self_loss_j_ += lost;
+}
+
+double Battery::equivalent_cycles() const {
+  const Joules cap = usable_capacity_j();
+  return cap > 0.0 ? total_out_j_ / cap : 0.0;
+}
+
+double Battery::health_fraction() const {
+  if (config_.cycle_life_cycles <= 0.0) return 1.0;
+  const double fade_per_cycle =
+      (1.0 - config_.end_of_life_capacity_fraction) /
+      config_.cycle_life_cycles;
+  return std::max(config_.end_of_life_capacity_fraction,
+                  1.0 - fade_per_cycle * equivalent_cycles());
+}
+
+Joules Battery::effective_usable_capacity_j() const {
+  return usable_capacity_j() * health_fraction();
+}
+
+}  // namespace gm::energy

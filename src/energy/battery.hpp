@@ -1,0 +1,126 @@
+#pragma once
+// Energy Storage Device (battery) model with the loss mechanisms the
+// scheduling trade-off depends on: round-trip efficiency, charge and
+// discharge rate limits, depth-of-discharge reserve, self-discharge,
+// and cycle-throughput accounting for lifetime estimates. Lead-acid
+// and lithium-ion presets follow the datacenter-storage literature
+// (Wang et al., SIGMETRICS'12; Chen et al. 2009; Divya & Østergaard
+// 2009).
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace gm::energy {
+
+enum class BatteryTechnology : std::uint8_t { kLeadAcid, kLithiumIon,
+                                              kCustom };
+
+const char* battery_technology_name(BatteryTechnology tech);
+
+struct BatteryConfig {
+  BatteryTechnology technology = BatteryTechnology::kLithiumIon;
+  Joules capacity_j = 0.0;          ///< nameplate capacity C
+  double depth_of_discharge = 0.8;  ///< usable fraction η of C
+  double charge_efficiency = 0.85;  ///< σ: stored = accepted × σ
+  double discharge_efficiency = 1.0;
+  /// Max charge power as a fraction of C per hour (e.g. 0.25 means the
+  /// battery accepts at most 0.25·C joules in one hour of charging).
+  double charge_rate_c_per_hour = 0.25;
+  /// Discharge rate limit = charge rate × this ratio.
+  double discharge_to_charge_ratio = 5.0;
+  double self_discharge_per_day = 0.001;  ///< fraction of stored energy
+  double price_per_kwh_usd = 525.0;
+  double energy_density_wh_per_l = 150.0;
+  /// State of charge at simulation start, as a fraction of the usable
+  /// capacity (0 = empty; sweeps set 0.5 to suppress the cold-start
+  /// first-night artifact symmetrically across policies).
+  double initial_soc_fraction = 0.0;
+  /// Cycle life: equivalent full cycles after which the cell has faded
+  /// to `end_of_life_capacity_fraction` of nameplate. 0 disables
+  /// degradation modeling.
+  double cycle_life_cycles = 0.0;
+  double end_of_life_capacity_fraction = 0.8;
+
+  Watts max_charge_w() const;
+  Watts max_discharge_w() const;
+  Joules usable_capacity_j() const { return capacity_j * depth_of_discharge; }
+  double volume_l() const;
+  double price_usd() const;
+
+  /// Presets parameterized by nameplate capacity.
+  static BatteryConfig lead_acid(Joules capacity_j);
+  static BatteryConfig lithium_ion(Joules capacity_j);
+  /// Lossless, rate-unlimited battery for ideal-case experiments.
+  static BatteryConfig ideal(Joules capacity_j);
+
+  void validate() const;
+};
+
+/// Stateful battery. "Stored" is energy above the DoD reserve floor, so
+/// stored ∈ [0, usable_capacity]. Charging and discharging within one
+/// accounting step are mutually exclusive (enforced by the caller — the
+/// per-slot energy balance never needs both).
+class Battery {
+ public:
+  explicit Battery(const BatteryConfig& config);
+
+  const BatteryConfig& config() const { return config_; }
+  Joules stored_j() const { return stored_j_; }
+  Joules usable_capacity_j() const { return config_.usable_capacity_j(); }
+  /// Room for additional *stored* energy (degradation-adjusted).
+  Joules headroom_j() const {
+    const Joules room = effective_usable_capacity_j() - stored_j_;
+    return room > 0.0 ? room : 0.0;
+  }
+
+  /// Offers `offered_j` of source energy over a window of `dt` seconds.
+  /// Returns the energy actually drawn from the source (<= offered),
+  /// limited by the charge-rate cap and remaining headroom. Only
+  /// `drawn × charge_efficiency` ends up stored; the rest is recorded
+  /// as conversion loss.
+  Joules charge(Joules offered_j, Seconds dt);
+
+  /// Requests `requested_j` of energy over `dt` seconds. Returns the
+  /// energy delivered to the load (<= requested), limited by the
+  /// discharge-rate cap and the stored amount. Delivering e removes
+  /// e / discharge_efficiency from storage.
+  Joules discharge(Joules requested_j, Seconds dt);
+
+  /// Applies self-discharge over an elapsed interval.
+  void apply_self_discharge(Seconds dt);
+
+  /// What charge() would accept right now, without mutating.
+  Joules charge_capacity_j(Seconds dt) const;
+  /// What discharge() could deliver right now, without mutating.
+  Joules discharge_capacity_j(Seconds dt) const;
+
+  // --- lifetime/loss telemetry -------------------------------------
+  Joules initial_stored_j() const { return initial_stored_j_; }
+  Joules total_charged_in_j() const { return total_in_j_; }
+  Joules total_discharged_out_j() const { return total_out_j_; }
+  Joules conversion_loss_j() const { return conversion_loss_j_; }
+  Joules self_discharge_loss_j() const { return self_loss_j_; }
+  /// Equivalent full cycles = discharged energy / usable capacity.
+  double equivalent_cycles() const;
+
+  /// Degradation: remaining capacity as a fraction of nameplate,
+  /// linear in cycle throughput down to the end-of-life fraction.
+  /// 1.0 when degradation modeling is disabled.
+  double health_fraction() const;
+  /// Usable capacity after degradation (this is what charging
+  /// headroom is computed against when degradation is enabled).
+  Joules effective_usable_capacity_j() const;
+
+ private:
+  BatteryConfig config_;
+  Joules stored_j_ = 0.0;
+  Joules initial_stored_j_ = 0.0;
+  Joules total_in_j_ = 0.0;
+  Joules total_out_j_ = 0.0;
+  Joules conversion_loss_j_ = 0.0;
+  Joules self_loss_j_ = 0.0;
+};
+
+}  // namespace gm::energy

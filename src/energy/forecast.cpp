@@ -1,0 +1,64 @@
+#include "energy/forecast.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/math_utils.hpp"
+#include "util/rng.hpp"
+
+namespace gm::energy {
+
+PerfectForecast::PerfectForecast(std::shared_ptr<const PowerSource> source)
+    : source_(std::move(source)) {
+  GM_CHECK(source_ != nullptr, "forecast needs a source");
+}
+
+Watts PerfectForecast::forecast_mean_w(SimTime issued_at, SimTime t0,
+                                       SimTime t1) const {
+  GM_CHECK(t1 > t0, "forecast window must be non-empty");
+  GM_CHECK(issued_at <= t0, "forecast issued after window start");
+  return source_->energy_j(t0, t1) / static_cast<double>(t1 - t0);
+}
+
+NoisyForecast::NoisyForecast(std::shared_ptr<const PowerSource> source,
+                             const NoisyForecastConfig& config)
+    : source_(std::move(source)), config_(config) {
+  GM_CHECK(source_ != nullptr, "forecast needs a source");
+  GM_CHECK(config_.error_at_1h >= 0.0, "negative forecast error");
+}
+
+Watts NoisyForecast::forecast_mean_w(SimTime issued_at, SimTime t0,
+                                     SimTime t1) const {
+  GM_CHECK(t1 > t0, "forecast window must be non-empty");
+  GM_CHECK(issued_at <= t0, "forecast issued after window start");
+  const Watts truth =
+      source_->energy_j(t0, t1) / static_cast<double>(t1 - t0);
+
+  const double lead_hours =
+      std::max(0.0, static_cast<double>(t0 - issued_at) / 3600.0);
+  const double sigma = std::min(
+      config_.error_cap, config_.error_at_1h * std::sqrt(
+                             std::max(lead_hours, 1e-9)));
+  if (sigma <= 0.0 || truth <= 0.0) return truth;
+
+  // Deterministic noise keyed by (seed, window start, lead bucket):
+  // re-forecasting the same window from the same time repeats exactly.
+  const auto lead_bucket = static_cast<std::uint64_t>(lead_hours);
+  std::uint64_t key =
+      mix_hash(config_.seed, static_cast<std::uint64_t>(t0));
+  key = mix_hash(key, lead_bucket);
+  Rng rng(key);
+  // Multiplicative lognormal error with unit mean.
+  double u, v, s;
+  do {
+    u = rng.uniform(-1.0, 1.0);
+    v = rng.uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double z = u * std::sqrt(-2.0 * std::log(s) / s);
+  const double factor = std::exp(sigma * z - 0.5 * sigma * sigma);
+  return truth * factor;
+}
+
+}  // namespace gm::energy

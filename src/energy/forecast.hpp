@@ -1,0 +1,62 @@
+#pragma once
+// Renewable production forecasting as seen by the scheduler. The
+// perfect provider reads the deterministic source directly (the
+// lineage's "no prediction error" assumption); the noisy provider adds
+// a multiplicative error that grows with lead time, deterministic per
+// (seed, slot) so repeated queries agree.
+
+#include <cstdint>
+#include <memory>
+
+#include "energy/supply.hpp"
+#include "util/time_types.hpp"
+
+namespace gm::energy {
+
+class ForecastProvider {
+ public:
+  virtual ~ForecastProvider() = default;
+
+  /// Expected average power over slot-aligned window [t0, t1), as
+  /// forecast from `issued_at` (<= t0).
+  virtual Watts forecast_mean_w(SimTime issued_at, SimTime t0,
+                                SimTime t1) const = 0;
+
+  /// Forecast energy over the window.
+  Joules forecast_energy_j(SimTime issued_at, SimTime t0, SimTime t1) const {
+    return forecast_mean_w(issued_at, t0, t1) *
+           static_cast<double>(t1 - t0);
+  }
+};
+
+class PerfectForecast final : public ForecastProvider {
+ public:
+  explicit PerfectForecast(std::shared_ptr<const PowerSource> source);
+  Watts forecast_mean_w(SimTime issued_at, SimTime t0,
+                        SimTime t1) const override;
+
+ private:
+  std::shared_ptr<const PowerSource> source_;
+};
+
+struct NoisyForecastConfig {
+  std::uint64_t seed = 99;
+  /// Relative error std-dev at one hour of lead time.
+  double error_at_1h = 0.05;
+  /// Error grows with sqrt(lead hours) up to this cap.
+  double error_cap = 0.5;
+};
+
+class NoisyForecast final : public ForecastProvider {
+ public:
+  NoisyForecast(std::shared_ptr<const PowerSource> source,
+                const NoisyForecastConfig& config);
+  Watts forecast_mean_w(SimTime issued_at, SimTime t0,
+                        SimTime t1) const override;
+
+ private:
+  std::shared_ptr<const PowerSource> source_;
+  NoisyForecastConfig config_;
+};
+
+}  // namespace gm::energy

@@ -1,0 +1,41 @@
+#include "energy/grid.hpp"
+
+#include "util/assert.hpp"
+
+namespace gm::energy {
+
+GridConfig GridConfig::flat(double g_per_kwh) {
+  GridConfig c;
+  c.carbon_g_per_kwh =
+      PiecewiseLinear({0.0, 24.0}, {g_per_kwh, g_per_kwh});
+  return c;
+}
+
+GridConfig GridConfig::wind_heavy() {
+  GridConfig c;
+  // Night wind surplus, evening fossil peakers.
+  c.carbon_g_per_kwh = PiecewiseLinear(
+      {0.0, 4.0, 8.0, 12.0, 16.0, 19.0, 22.0, 24.0},
+      {140.0, 120.0, 220.0, 300.0, 350.0, 480.0, 260.0, 140.0});
+  return c;
+}
+
+GridConfig GridConfig::solar_heavy() {
+  GridConfig c;
+  // Utility solar floods the midday grid; nights run on fossil.
+  c.carbon_g_per_kwh = PiecewiseLinear(
+      {0.0, 6.0, 9.0, 12.0, 15.0, 18.0, 21.0, 24.0},
+      {450.0, 430.0, 260.0, 160.0, 210.0, 380.0, 470.0, 450.0});
+  return c;
+}
+
+void GridMeter::draw(SimTime t, Joules e) {
+  GM_CHECK(e >= 0.0, "grid draw must be non-negative: " << e);
+  const CalendarTime cal = calendar_of(t);
+  const double kwh = j_to_kwh(e);
+  total_j_ += e;
+  carbon_g_ += kwh * config_.carbon_g_per_kwh(cal.hour);
+  cost_usd_ += kwh * config_.price_usd_per_kwh(cal.hour);
+}
+
+}  // namespace gm::energy

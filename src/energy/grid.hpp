@@ -1,0 +1,49 @@
+#pragma once
+// Grid ("brown") energy meter with optional time-of-day carbon
+// intensity and price profiles, so reports can state both kWh and the
+// carbon/cost consequences of a policy.
+
+#include "util/math_utils.hpp"
+#include "util/time_types.hpp"
+#include "util/units.hpp"
+
+namespace gm::energy {
+
+struct GridConfig {
+  /// Carbon intensity by hour of day, gCO2e per kWh. Default: flat
+  /// European-average-ish 300 g/kWh.
+  PiecewiseLinear carbon_g_per_kwh{std::vector<double>{0.0, 24.0},
+                                   std::vector<double>{300.0, 300.0}};
+  /// Price by hour of day, USD per kWh. Default flat 0.12 $/kWh.
+  PiecewiseLinear price_usd_per_kwh{std::vector<double>{0.0, 24.0},
+                                    std::vector<double>{0.12, 0.12}};
+
+  /// Presets for the carbon-aware experiments.
+  static GridConfig flat(double g_per_kwh = 300.0);
+  /// Wind-heavy grid: cleanest at night, dirtiest in the evening peak.
+  static GridConfig wind_heavy();
+  /// Solar-heavy grid: cleanest around noon, dirtiest at night.
+  static GridConfig solar_heavy();
+};
+
+class GridMeter {
+ public:
+  GridMeter() = default;
+  explicit GridMeter(GridConfig config) : config_(std::move(config)) {}
+
+  /// Records a draw of `e` joules during the hour-of-day containing t.
+  void draw(SimTime t, Joules e);
+
+  Joules total_j() const { return total_j_; }
+  double total_kwh() const { return j_to_kwh(total_j_); }
+  double total_carbon_g() const { return carbon_g_; }
+  double total_cost_usd() const { return cost_usd_; }
+
+ private:
+  GridConfig config_;
+  Joules total_j_ = 0.0;
+  double carbon_g_ = 0.0;
+  double cost_usd_ = 0.0;
+};
+
+}  // namespace gm::energy

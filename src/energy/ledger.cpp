@@ -1,0 +1,61 @@
+#include "energy/ledger.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace gm::energy {
+
+double LedgerTotals::green_utilization() const {
+  if (green_supply_j <= 0.0) return 0.0;
+  return (green_direct_j + battery_charge_drawn_j) / green_supply_j;
+}
+
+double LedgerTotals::green_coverage_of_demand() const {
+  if (demand_j <= 0.0) return 0.0;
+  return (demand_j - brown_j) / demand_j;
+}
+
+void EnergyLedger::append(const SlotRecord& r, double tolerance) {
+  GM_CHECK(r.end > r.start, "ledger slot has empty interval");
+
+  const auto check_balance = [&](double lhs, double rhs, const char* what) {
+    const double scale =
+        std::max({1.0, std::fabs(lhs), std::fabs(rhs)});
+    GM_CHECK(std::fabs(lhs - rhs) <= tolerance * scale,
+             "ledger conservation violated (" << what << ") in slot "
+                 << r.slot << ": " << lhs << " vs " << rhs);
+  };
+  check_balance(r.green_supply_j,
+                r.green_direct_j + r.battery_charge_drawn_j + r.curtailed_j,
+                "supply split");
+  check_balance(r.demand_j,
+                r.green_direct_j + r.battery_discharged_j + r.brown_j,
+                "demand coverage");
+
+  const auto nonneg = [&](double v, const char* what) {
+    GM_CHECK(v >= -1e-9, "negative ledger term (" << what << ") in slot "
+                             << r.slot << ": " << v);
+  };
+  nonneg(r.green_supply_j, "green_supply");
+  nonneg(r.green_direct_j, "green_direct");
+  nonneg(r.battery_charge_drawn_j, "battery_charge_drawn");
+  nonneg(r.battery_discharged_j, "battery_discharged");
+  nonneg(r.brown_j, "brown");
+  nonneg(r.curtailed_j, "curtailed");
+  nonneg(r.demand_j, "demand");
+
+  slots_.push_back(r);
+  totals_.green_supply_j += r.green_supply_j;
+  totals_.green_direct_j += r.green_direct_j;
+  totals_.battery_charge_drawn_j += r.battery_charge_drawn_j;
+  totals_.battery_discharged_j += r.battery_discharged_j;
+  totals_.brown_j += r.brown_j;
+  totals_.curtailed_j += r.curtailed_j;
+  totals_.demand_j += r.demand_j;
+  totals_.overhead_transition_j += r.overhead_transition_j;
+  totals_.overhead_migration_j += r.overhead_migration_j;
+}
+
+}  // namespace gm::energy

@@ -1,0 +1,76 @@
+#pragma once
+// Per-slot energy accounting. Every simulation slot appends one record;
+// the ledger enforces the conservation identities that tie supply,
+// battery, grid and demand together, and aggregates run totals.
+//
+// Identities checked (all joules, per slot):
+//   green_supply  = green_direct + battery_charge_drawn + curtailed
+//   demand        = green_direct + battery_discharged + brown
+//
+// Battery internal losses (conversion, self-discharge) live inside the
+// Battery object and are reported separately; `battery_charge_drawn`
+// is energy taken *from the source side*, of which only σ reaches
+// storage.
+
+#include <vector>
+
+#include "util/time_types.hpp"
+#include "util/units.hpp"
+
+namespace gm::energy {
+
+struct SlotRecord {
+  SlotIndex slot = 0;
+  SimTime start = 0;
+  SimTime end = 0;
+
+  Joules green_supply_j = 0.0;      ///< renewable production this slot
+  Joules green_direct_j = 0.0;      ///< renewable consumed immediately
+  Joules battery_charge_drawn_j = 0.0;  ///< source-side energy into ESD
+  Joules battery_discharged_j = 0.0;    ///< energy delivered by ESD
+  Joules brown_j = 0.0;             ///< grid draw
+  Joules curtailed_j = 0.0;         ///< renewable lost (no taker)
+  Joules demand_j = 0.0;            ///< total load including overheads
+
+  /// Demand decomposition (informational; sums to <= demand_j, the
+  /// remainder being baseline server/disk power).
+  Joules overhead_transition_j = 0.0;  ///< spin-up / power-cycle energy
+  Joules overhead_migration_j = 0.0;   ///< data/VM movement energy
+
+  Joules battery_stored_end_j = 0.0;   ///< state of charge at slot end
+};
+
+struct LedgerTotals {
+  Joules green_supply_j = 0.0;
+  Joules green_direct_j = 0.0;
+  Joules battery_charge_drawn_j = 0.0;
+  Joules battery_discharged_j = 0.0;
+  Joules brown_j = 0.0;
+  Joules curtailed_j = 0.0;
+  Joules demand_j = 0.0;
+  Joules overhead_transition_j = 0.0;
+  Joules overhead_migration_j = 0.0;
+
+  /// Fraction of renewable production that served load (directly or
+  /// via the battery, counting what was drawn into it).
+  double green_utilization() const;
+  /// Fraction of demand covered without the grid.
+  double green_coverage_of_demand() const;
+};
+
+class EnergyLedger {
+ public:
+  /// Appends a slot record; throws if the conservation identities are
+  /// violated beyond `tolerance` (relative).
+  void append(const SlotRecord& record, double tolerance = 1e-6);
+
+  const std::vector<SlotRecord>& slots() const { return slots_; }
+  LedgerTotals totals() const { return totals_; }
+  std::size_t size() const { return slots_.size(); }
+
+ private:
+  std::vector<SlotRecord> slots_;
+  LedgerTotals totals_;
+};
+
+}  // namespace gm::energy

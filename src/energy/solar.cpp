@@ -1,0 +1,157 @@
+#include "energy/solar.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/distributions.hpp"
+#include "util/math_utils.hpp"
+#include "util/time_types.hpp"
+
+namespace gm::energy {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kSolarConstantWm2 = 1361.0;
+
+double deg_to_rad(double deg) { return deg * kPi / 180.0; }
+
+}  // namespace
+
+SolarIrradianceModel::SolarIrradianceModel(const SolarConfig& config)
+    : config_(config) {
+  GM_CHECK(config_.horizon_days > 0, "solar horizon must be positive");
+  GM_CHECK(config_.latitude_deg > -90.0 && config_.latitude_deg < 90.0,
+           "latitude out of range: " << config_.latitude_deg);
+  GM_CHECK(config_.weather_persistence >= 0.0 &&
+               config_.weather_persistence <= 1.0,
+           "weather persistence must be a probability");
+  GM_CHECK(config_.utc_offset_h >= -12.0 && config_.utc_offset_h <= 14.0,
+           "utc offset out of range: " << config_.utc_offset_h);
+
+  Rng rng(config_.seed);
+
+  // Daily weather Markov chain: stay with p = persistence, otherwise
+  // move to one of the other two states uniformly.
+  daily_weather_.resize(config_.horizon_days);
+  Weather w = Weather::kSunny;
+  for (int d = 0; d < config_.horizon_days; ++d) {
+    daily_weather_[d] = w;
+    if (!rng.bernoulli(config_.weather_persistence)) {
+      const int self = static_cast<int>(w);
+      const int offset = 1 + static_cast<int>(rng.uniform_u64(2));
+      w = static_cast<Weather>((self + offset) % 3);
+    }
+  }
+
+  // Hourly clearness: state mean + Gaussian noise, clamped to [0, 1].
+  hourly_clearness_.resize(static_cast<std::size_t>(config_.horizon_days) *
+                           24);
+  for (int d = 0; d < config_.horizon_days; ++d) {
+    double state_mean = 0.0;
+    switch (daily_weather_[d]) {
+      case Weather::kSunny: state_mean = config_.clearness_sunny; break;
+      case Weather::kPartlyCloudy:
+        state_mean = config_.clearness_partly;
+        break;
+      case Weather::kCloudy: state_mean = config_.clearness_cloudy; break;
+    }
+    for (int h = 0; h < 24; ++h) {
+      const double noisy =
+          sample_normal(rng, state_mean, config_.clearness_noise);
+      hourly_clearness_[static_cast<std::size_t>(d) * 24 + h] =
+          clamp(noisy, 0.0, 1.0);
+    }
+  }
+}
+
+SimTime SolarIrradianceModel::local_time(SimTime t) const {
+  auto local = t + static_cast<SimTime>(config_.utc_offset_h * 3600.0);
+  while (local < 0) local += 365LL * 86400;
+  return local;
+}
+
+double SolarIrradianceModel::solar_elevation_rad(SimTime t) const {
+  const CalendarTime cal =
+      calendar_of(local_time(t), config_.start_day_of_year);
+  // Declination (Cooper's equation).
+  const double decl =
+      deg_to_rad(23.45) *
+      std::sin(2.0 * kPi * (284.0 + cal.day_of_year) / 365.0);
+  // Hour angle: solar noon at 12:00 local.
+  const double hour_angle = deg_to_rad(15.0) * (cal.hour - 12.0);
+  const double lat = deg_to_rad(config_.latitude_deg);
+  const double sin_elev = std::sin(lat) * std::sin(decl) +
+                          std::cos(lat) * std::cos(decl) *
+                              std::cos(hour_angle);
+  return std::asin(clamp(sin_elev, -1.0, 1.0));
+}
+
+double SolarIrradianceModel::clear_sky_wm2(SimTime t) const {
+  const double elev = solar_elevation_rad(t);
+  if (elev <= 0.0) return 0.0;
+  const double sin_elev = std::sin(elev);
+  // Beam attenuation through air mass ~ 1/sin(elev) (Kasten-style
+  // simplification, adequate for hourly energy accounting).
+  const double transmit =
+      std::pow(config_.clear_sky_transmittance, 1.0 / sin_elev);
+  return kSolarConstantWm2 * transmit * sin_elev;
+}
+
+double SolarIrradianceModel::clearness_at(SimTime t) const {
+  t = local_time(t);
+  if (t < 0) return 0.0;
+  auto idx = static_cast<std::size_t>(t / 3600);
+  if (idx >= hourly_clearness_.size()) {
+    // Beyond the sampled horizon: repeat the last day's pattern so long
+    // sweeps degrade gracefully instead of crashing.
+    idx = hourly_clearness_.size() - 24 + idx % 24;
+  }
+  return hourly_clearness_[idx];
+}
+
+Watts SolarIrradianceModel::power_w(SimTime t) const {
+  return clear_sky_wm2(t) * clearness_at(t);
+}
+
+Weather SolarIrradianceModel::weather_on_day(int day) const {
+  GM_CHECK(day >= 0, "negative day index");
+  const auto idx = static_cast<std::size_t>(day);
+  return idx < daily_weather_.size() ? daily_weather_[idx]
+                                     : daily_weather_.back();
+}
+
+PvArray::PvArray(std::shared_ptr<const SolarIrradianceModel> irradiance,
+                 const PvArrayConfig& config)
+    : irradiance_(std::move(irradiance)), config_(config) {
+  GM_CHECK(irradiance_ != nullptr, "PvArray needs an irradiance model");
+  GM_CHECK(config_.panel_area_m2 > 0.0 && config_.panel_count >= 0,
+           "invalid PV geometry");
+  GM_CHECK(config_.cell_efficiency > 0.0 && config_.cell_efficiency < 1.0,
+           "cell efficiency must be in (0, 1)");
+  GM_CHECK(config_.performance_ratio > 0.0 &&
+               config_.performance_ratio <= 1.0,
+           "performance ratio must be in (0, 1]");
+}
+
+Watts PvArray::power_w(SimTime t) const {
+  return irradiance_->power_w(t) * total_area_m2() *
+         config_.cell_efficiency * config_.performance_ratio;
+}
+
+Watts PvArray::rated_peak_w() const {
+  return 1000.0 * total_area_m2() * config_.cell_efficiency *
+         config_.performance_ratio;
+}
+
+std::shared_ptr<PvArray> make_pv_array(const SolarConfig& solar,
+                                       double total_area_m2) {
+  GM_CHECK(total_area_m2 >= 0.0, "negative panel area");
+  auto irr = std::make_shared<SolarIrradianceModel>(solar);
+  PvArrayConfig pv;
+  pv.panel_count = 1;
+  pv.panel_area_m2 = total_area_m2 > 0.0 ? total_area_m2 : 1e-9;
+  if (total_area_m2 == 0.0) pv.panel_count = 0;
+  return std::make_shared<PvArray>(std::move(irr), pv);
+}
+
+}  // namespace gm::energy

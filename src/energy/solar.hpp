@@ -1,0 +1,99 @@
+#pragma once
+// Solar production model: astronomical clear-sky irradiance modulated
+// by a Markov-chain weather process with within-state noise. All
+// stochasticity is sampled at construction (one clearness factor per
+// hour of the horizon), so the model is a deterministic PowerSource.
+
+#include <cstdint>
+#include <vector>
+
+#include "energy/supply.hpp"
+#include "util/rng.hpp"
+
+namespace gm::energy {
+
+/// Three-state weather chain; transition probabilities are per day.
+enum class Weather : std::uint8_t { kSunny = 0, kPartlyCloudy, kCloudy };
+
+struct SolarConfig {
+  double latitude_deg = 47.2;  ///< Nantes, to match the lineage's farm
+  /// Timezone offset of the site: local solar time = simulation time +
+  /// offset. Federated multi-site setups stagger this to model
+  /// follow-the-sun geography.
+  double utc_offset_h = 0.0;
+  int start_day_of_year = 172;  ///< June 21 (summer solstice)
+  int horizon_days = 14;
+  std::uint64_t seed = 42;
+
+  /// Atmospheric clear-sky transmittance at zenith.
+  double clear_sky_transmittance = 0.72;
+  /// Mean clearness per weather state.
+  double clearness_sunny = 0.95;
+  double clearness_partly = 0.60;
+  double clearness_cloudy = 0.25;
+  /// Std-dev of hourly clearness noise within a state.
+  double clearness_noise = 0.08;
+  /// Per-day probability of keeping the current weather state.
+  double weather_persistence = 0.6;
+};
+
+/// Irradiance on the horizontal plane (W/m²) as a function of sim time.
+class SolarIrradianceModel final : public PowerSource {
+ public:
+  explicit SolarIrradianceModel(const SolarConfig& config);
+
+  /// power_w here returns irradiance in W/m² (a PvArray turns it into
+  /// electrical watts); exposed as a PowerSource so tests can integrate.
+  Watts power_w(SimTime t) const override;
+
+  /// Deterministic clear-sky irradiance, no weather attenuation.
+  double clear_sky_wm2(SimTime t) const;
+
+  /// Solar elevation angle in radians at time t (negative at night).
+  double solar_elevation_rad(SimTime t) const;
+
+  Weather weather_on_day(int day) const;
+  const SolarConfig& config() const { return config_; }
+
+ private:
+  SimTime local_time(SimTime t) const;
+  double clearness_at(SimTime t) const;
+
+  SolarConfig config_;
+  std::vector<Weather> daily_weather_;
+  std::vector<double> hourly_clearness_;
+};
+
+/// Photovoltaic array converting irradiance to electrical power.
+struct PvArrayConfig {
+  double panel_area_m2 = 1.38;     ///< one ~240 Wp panel
+  int panel_count = 8;             ///< mini-farm default
+  double cell_efficiency = 0.174;  ///< irradiance → DC
+  double performance_ratio = 0.85; ///< inverter, wiring, soiling
+};
+
+class PvArray final : public PowerSource {
+ public:
+  PvArray(std::shared_ptr<const SolarIrradianceModel> irradiance,
+          const PvArrayConfig& config);
+
+  Watts power_w(SimTime t) const override;
+
+  double total_area_m2() const {
+    return config_.panel_area_m2 * config_.panel_count;
+  }
+  /// Peak electrical watts at 1000 W/m² reference irradiance.
+  Watts rated_peak_w() const;
+  const PvArrayConfig& config() const { return config_; }
+
+ private:
+  std::shared_ptr<const SolarIrradianceModel> irradiance_;
+  PvArrayConfig config_;
+};
+
+/// Convenience: array sized to a given total area on a fresh irradiance
+/// model (the common construction in sweeps).
+std::shared_ptr<PvArray> make_pv_array(const SolarConfig& solar,
+                                       double total_area_m2);
+
+}  // namespace gm::energy

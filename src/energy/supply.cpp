@@ -1,0 +1,76 @@
+#include "energy/supply.hpp"
+
+#include "util/assert.hpp"
+#include "util/csv.hpp"
+
+namespace gm::energy {
+
+Joules PowerSource::energy_j(SimTime t0, SimTime t1,
+                             SimTime resolution) const {
+  GM_CHECK(t1 >= t0, "energy interval must be ordered");
+  GM_CHECK(resolution > 0, "integration resolution must be positive");
+  Joules total = 0.0;
+  SimTime t = t0;
+  Watts prev = power_w(t);
+  while (t < t1) {
+    const SimTime next = std::min(t + resolution, t1);
+    const Watts cur = power_w(next);
+    total += 0.5 * (prev + cur) * static_cast<double>(next - t);
+    prev = cur;
+    t = next;
+  }
+  return total;
+}
+
+TraceSource::TraceSource(std::vector<Watts> samples_w,
+                         SimTime sample_period_s)
+    : samples_(std::move(samples_w)), period_(sample_period_s) {
+  GM_CHECK(period_ > 0, "trace sample period must be positive");
+  for (Watts w : samples_)
+    GM_CHECK(w >= 0.0, "trace contains negative power: " << w);
+}
+
+Watts TraceSource::power_w(SimTime t) const {
+  if (t < 0 || samples_.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(t / period_);
+  if (idx >= samples_.size()) return 0.0;
+  const double frac =
+      static_cast<double>(t - static_cast<SimTime>(idx) * period_) /
+      static_cast<double>(period_);
+  const Watts a = samples_[idx];
+  const Watts b = idx + 1 < samples_.size() ? samples_[idx + 1] : 0.0;
+  return a + (b - a) * frac;
+}
+
+TraceSource TraceSource::from_csv(const std::string& path,
+                                  SimTime sample_period_s) {
+  const auto rows = read_csv_file(path);
+  std::vector<Watts> samples;
+  samples.reserve(rows.size());
+  for (const auto& row : rows) {
+    GM_CHECK(!row.empty(), "empty CSV row in power trace " << path);
+    // One column: power. Two+: last column is power.
+    samples.push_back(csv_to_double(row.back()));
+  }
+  return TraceSource(std::move(samples), sample_period_s);
+}
+
+ScaledSource::ScaledSource(std::shared_ptr<const PowerSource> base,
+                           double factor)
+    : base_(std::move(base)), factor_(factor) {
+  GM_CHECK(base_ != nullptr, "scaled source needs a base");
+  GM_CHECK(factor_ >= 0.0, "scale factor must be non-negative");
+}
+
+void CompositeSource::add(std::shared_ptr<const PowerSource> source) {
+  GM_CHECK(source != nullptr, "composite source element is null");
+  sources_.push_back(std::move(source));
+}
+
+Watts CompositeSource::power_w(SimTime t) const {
+  Watts total = 0.0;
+  for (const auto& s : sources_) total += s->power_w(t);
+  return total;
+}
+
+}  // namespace gm::energy

@@ -1,0 +1,94 @@
+#pragma once
+// Power-source abstraction. A PowerSource is a *deterministic* function
+// from simulation time to instantaneous power: models precompute any
+// stochastic weather at construction, so the same object answers both
+// "what is produced now" and "what will be produced at t" (the perfect
+// forecaster simply reads the source at a future time).
+
+#include <memory>
+#include <vector>
+
+#include "util/time_types.hpp"
+#include "util/units.hpp"
+
+namespace gm::energy {
+
+class PowerSource {
+ public:
+  virtual ~PowerSource() = default;
+
+  /// Instantaneous power produced at time t. Must be >= 0.
+  virtual Watts power_w(SimTime t) const = 0;
+
+  /// Energy produced over [t0, t1). The default integrates power_w at
+  /// `resolution` steps (trapezoid); models with closed forms override.
+  virtual Joules energy_j(SimTime t0, SimTime t1,
+                          SimTime resolution = 60) const;
+};
+
+/// Always-zero source (grid-only scenarios).
+class NullSource final : public PowerSource {
+ public:
+  Watts power_w(SimTime) const override { return 0.0; }
+};
+
+/// Constant-output source (tests and idealized scenarios).
+class ConstantSource final : public PowerSource {
+ public:
+  explicit ConstantSource(Watts p) : p_(p) {}
+  Watts power_w(SimTime) const override { return p_; }
+
+ private:
+  Watts p_;
+};
+
+/// Plays back a trace of power samples on a fixed grid with linear
+/// interpolation between samples and zero outside the trace. Sample i
+/// is the power at time i * sample_period.
+class TraceSource final : public PowerSource {
+ public:
+  TraceSource(std::vector<Watts> samples_w, SimTime sample_period_s);
+
+  Watts power_w(SimTime t) const override;
+  SimTime duration() const {
+    return static_cast<SimTime>(samples_.size()) * period_;
+  }
+
+  /// Loads a single-column (or `time,power` two-column) CSV of watts.
+  static TraceSource from_csv(const std::string& path,
+                              SimTime sample_period_s);
+
+ private:
+  std::vector<Watts> samples_;
+  SimTime period_;
+};
+
+/// Scales another source by a constant factor (e.g. panel-count sweep
+/// over one normalized solar profile).
+class ScaledSource final : public PowerSource {
+ public:
+  ScaledSource(std::shared_ptr<const PowerSource> base, double factor);
+  Watts power_w(SimTime t) const override {
+    return factor_ * base_->power_w(t);
+  }
+  Joules energy_j(SimTime t0, SimTime t1,
+                  SimTime resolution = 60) const override {
+    return factor_ * base_->energy_j(t0, t1, resolution);
+  }
+
+ private:
+  std::shared_ptr<const PowerSource> base_;
+  double factor_;
+};
+
+/// Sum of several sources (solar farm + wind turbine).
+class CompositeSource final : public PowerSource {
+ public:
+  void add(std::shared_ptr<const PowerSource> source);
+  Watts power_w(SimTime t) const override;
+
+ private:
+  std::vector<std::shared_ptr<const PowerSource>> sources_;
+};
+
+}  // namespace gm::energy

@@ -1,0 +1,74 @@
+#include "energy/wind.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/distributions.hpp"
+#include "util/math_utils.hpp"
+#include "util/rng.hpp"
+
+namespace gm::energy {
+namespace {
+
+/// Standard normal CDF via erf.
+double normal_cdf(double z) {
+  return 0.5 * (1.0 + std::erf(z / std::sqrt(2.0)));
+}
+
+}  // namespace
+
+WindModel::WindModel(const WindConfig& config) : config_(config) {
+  GM_CHECK(config_.horizon_days > 0, "wind horizon must be positive");
+  GM_CHECK(config_.weibull_shape_k > 0.0 && config_.weibull_scale_ms > 0.0,
+           "weibull parameters must be positive");
+  GM_CHECK(config_.autocorrelation >= 0.0 && config_.autocorrelation < 1.0,
+           "AR(1) coefficient must be in [0, 1)");
+  GM_CHECK(config_.cut_in_ms < config_.rated_ms &&
+               config_.rated_ms < config_.cut_out_ms,
+           "turbine curve thresholds must be ordered");
+
+  Rng rng(config_.seed);
+  const std::size_t hours =
+      static_cast<std::size_t>(config_.horizon_days) * 24;
+  hourly_speed_ms_.resize(hours);
+
+  // AR(1) Gaussian process z_t with unit marginal variance; map each
+  // z_t through the Gaussian copula to the Weibull marginal.
+  const double rho = config_.autocorrelation;
+  const double innovation_sd = std::sqrt(1.0 - rho * rho);
+  double z = sample_normal(rng);
+  for (std::size_t h = 0; h < hours; ++h) {
+    const double u = clamp(normal_cdf(z), 1e-12, 1.0 - 1e-12);
+    hourly_speed_ms_[h] =
+        config_.weibull_scale_ms *
+        std::pow(-std::log(1.0 - u), 1.0 / config_.weibull_shape_k);
+    z = rho * z + innovation_sd * sample_normal(rng);
+  }
+}
+
+double WindModel::wind_speed_ms(SimTime t) const {
+  if (t < 0 || hourly_speed_ms_.empty()) return 0.0;
+  auto idx = static_cast<std::size_t>(t / 3600);
+  if (idx >= hourly_speed_ms_.size())
+    idx = hourly_speed_ms_.size() - 24 + idx % 24;  // repeat last day
+  const std::size_t next = std::min(idx + 1, hourly_speed_ms_.size() - 1);
+  const double frac = static_cast<double>(t % 3600) / 3600.0;
+  return lerp(hourly_speed_ms_[idx], hourly_speed_ms_[next], frac);
+}
+
+Watts WindModel::turbine_power_w(double speed_ms) const {
+  if (speed_ms < config_.cut_in_ms || speed_ms >= config_.cut_out_ms)
+    return 0.0;
+  if (speed_ms >= config_.rated_ms) return config_.rated_power_w;
+  // Cubic ramp between cut-in and rated speed.
+  const double num = std::pow(speed_ms, 3) - std::pow(config_.cut_in_ms, 3);
+  const double den =
+      std::pow(config_.rated_ms, 3) - std::pow(config_.cut_in_ms, 3);
+  return config_.rated_power_w * num / den;
+}
+
+Watts WindModel::power_w(SimTime t) const {
+  return turbine_power_w(wind_speed_ms(t));
+}
+
+}  // namespace gm::energy

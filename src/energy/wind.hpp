@@ -1,0 +1,48 @@
+#pragma once
+// Wind production model (the paper's stated future-work direction):
+// hourly wind speeds with a Weibull marginal distribution and AR(1)
+// temporal correlation (Gaussian copula), pushed through a standard
+// turbine power curve. Deterministic after construction, like solar.
+
+#include <cstdint>
+#include <vector>
+
+#include "energy/supply.hpp"
+
+namespace gm::energy {
+
+struct WindConfig {
+  int horizon_days = 14;
+  std::uint64_t seed = 43;
+
+  double weibull_shape_k = 2.0;     ///< Rayleigh-like
+  double weibull_scale_ms = 7.0;    ///< mean speed ≈ 6.2 m/s
+  double autocorrelation = 0.85;    ///< hour-to-hour AR(1) coefficient
+
+  // Turbine power curve.
+  Watts rated_power_w = 10000.0;    ///< small on-site turbine
+  double cut_in_ms = 3.0;
+  double rated_ms = 12.0;
+  double cut_out_ms = 25.0;
+};
+
+class WindModel final : public PowerSource {
+ public:
+  explicit WindModel(const WindConfig& config);
+
+  Watts power_w(SimTime t) const override;
+
+  /// Hourly wind speed in m/s (linear interpolation between samples).
+  double wind_speed_ms(SimTime t) const;
+
+  /// The turbine curve alone (exposed for tests): W for a given speed.
+  Watts turbine_power_w(double speed_ms) const;
+
+  const WindConfig& config() const { return config_; }
+
+ private:
+  WindConfig config_;
+  std::vector<double> hourly_speed_ms_;
+};
+
+}  // namespace gm::energy

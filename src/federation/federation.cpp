@@ -1,0 +1,200 @@
+#include "federation/federation.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace gm::federation {
+
+void FederationConfig::validate() const {
+  GM_CHECK(sites.size() >= 1, "federation needs at least one site");
+  GM_CHECK(min_slack_to_move_s >= 0.0, "negative move slack");
+  GM_CHECK(min_surplus_gap_w >= 0.0, "negative surplus gap");
+  GM_CHECK(wan_transfer_energy_j >= 0.0, "negative WAN energy");
+  const SimTime slot = sites.front().experiment.slot_length_s;
+  const int days = sites.front().experiment.workload.duration_days;
+  const int drain = sites.front().experiment.max_drain_slots;
+  for (const auto& site : sites) {
+    site.experiment.validate();
+    GM_CHECK(site.experiment.slot_length_s == slot,
+             "sites must share the slot length");
+    GM_CHECK(site.experiment.workload.duration_days == days &&
+                 site.experiment.max_drain_slots == drain,
+             "sites must share the simulation horizon");
+  }
+}
+
+double FederationResult::total_brown_kwh() const {
+  double total = 0.0;
+  for (const auto& s : sites) total += s.result.brown_kwh();
+  return total;
+}
+
+double FederationResult::total_green_supply_kwh() const {
+  double total = 0.0;
+  for (const auto& s : sites) total += s.result.green_supply_kwh();
+  return total;
+}
+
+double FederationResult::total_demand_kwh() const {
+  double total = 0.0;
+  for (const auto& s : sites) total += s.result.demand_kwh();
+  return total;
+}
+
+double FederationResult::total_curtailed_kwh() const {
+  double total = 0.0;
+  for (const auto& s : sites) total += s.result.curtailed_kwh();
+  return total;
+}
+
+std::uint64_t FederationResult::total_deadline_misses() const {
+  std::uint64_t total = 0;
+  for (const auto& s : sites) total += s.result.qos.deadline_misses;
+  return total;
+}
+
+FederationEngine::FederationEngine(const FederationConfig& config)
+    : config_(config) {
+  config_.validate();
+  engines_.reserve(config_.sites.size());
+  for (const auto& site : config_.sites)
+    engines_.push_back(
+        std::make_unique<core::SimulationEngine>(site.experiment));
+}
+
+Watts FederationEngine::surplus_score(std::size_t site,
+                                      SlotIndex slot) const {
+  const auto& engine = *engines_[site];
+  const auto& experiment = config_.sites[site].experiment;
+  const double fg = engine.slot_fg_util(slot);
+  const Watts committed =
+      fg * experiment.cluster.node.peak_w() +
+      experiment.cluster.node.idle_floor_w();  // one-node floor proxy
+  return engine.slot_green_w(slot) - committed;
+}
+
+Joules FederationEngine::upcoming_surplus_j(std::size_t site,
+                                            SlotIndex slot,
+                                            int window) const {
+  const auto& engine = *engines_[site];
+  const auto& experiment = config_.sites[site].experiment;
+  const double slot_len =
+      static_cast<double>(experiment.slot_length_s);
+  Joules total = 0.0;
+  for (int j = 0; j < window; ++j) {
+    const SlotIndex s = slot + j;
+    const Watts committed =
+        engine.slot_fg_util(s) * experiment.cluster.node.peak_w() +
+        engine.coverage_floor() *
+            experiment.cluster.node.idle_floor_w();
+    total += std::max(0.0, engine.slot_green_w(s) - committed) *
+             slot_len;
+  }
+  return total;
+}
+
+Joules FederationEngine::pending_work_energy_j(std::size_t site) const {
+  const auto& node = config_.sites[site].experiment.cluster.node;
+  // Marginal power of a typical running task (same shape as the
+  // GreenMatch planner's unit-energy estimate).
+  const Watts per_task =
+      0.3 * (node.peak_w() - node.idle_floor_w()) +
+      (node.task_slots > 0
+           ? node.idle_floor_w() / static_cast<double>(node.task_slots)
+           : 0.0);
+  return engines_[site]->pending_work_s() * per_task;
+}
+
+void FederationEngine::broker_slot(SlotIndex slot, SimTime now) {
+  if (engines_.size() < 2) return;
+
+  // Rank sites by surplus outlook for this slot.
+  std::size_t best = 0, worst = 0;
+  for (std::size_t i = 1; i < engines_.size(); ++i) {
+    if (surplus_score(i, slot) > surplus_score(best, slot)) best = i;
+    if (surplus_score(i, slot) < surplus_score(worst, slot)) worst = i;
+  }
+  if (best == worst) return;
+  const Watts gap =
+      surplus_score(best, slot) - surplus_score(worst, slot);
+  if (gap < config_.min_surplus_gap_w) return;
+  if (engines_[worst]->pending_count() == 0) return;
+
+  // Move only when the donor genuinely cannot cover its own pending
+  // work with local green over the look-ahead — otherwise the local
+  // scheduler will place the work into its own noon and a transfer
+  // only adds churn — and when the recipient has surplus to spare
+  // beyond its own backlog.
+  const Joules donor_surplus =
+      upcoming_surplus_j(worst, slot, config_.donor_lookahead_slots);
+  if (donor_surplus >= pending_work_energy_j(worst)) return;
+  const Joules recipient_spare =
+      upcoming_surplus_j(best, slot, config_.donor_lookahead_slots) -
+      pending_work_energy_j(best);
+  if (recipient_spare <= 0.0) return;
+
+  const auto moved = engines_[worst]->extract_transferable_tasks(
+      now, config_.min_slack_to_move_s, config_.max_moves_per_slot);
+  const auto dest_groups = static_cast<std::uint32_t>(
+      config_.sites[best].experiment.cluster.placement.group_count);
+  for (const auto& p : moved) {
+    storage::BackgroundTask task = p.task;
+    // Re-home into the destination's group universe (the destination
+    // holds a geo-replica of the data); fresh id avoids collisions.
+    task.group = static_cast<storage::GroupId>(
+        mix_hash(task.id, 0xfed) % dest_groups);
+    task.id = next_moved_task_id_++;
+    engines_[best]->inject_task(task, p.remaining_s);
+    ++tasks_moved_;
+  }
+}
+
+FederationResult FederationEngine::run() {
+  const SlotIndex slots = engines_.front()->total_slots();
+  for (const auto& engine : engines_)
+    GM_CHECK(engine->total_slots() == slots,
+             "sites disagree on the horizon");
+
+  const SimTime slot_len = config_.sites.front().experiment.slot_length_s;
+  for (SlotIndex slot = 0; slot < slots; ++slot) {
+    if (config_.enable_task_routing)
+      broker_slot(slot, slot * slot_len);
+    for (const auto& engine : engines_) engine->run_slot(slot);
+  }
+
+  FederationResult result;
+  result.tasks_moved = tasks_moved_;
+  result.wan_energy_j =
+      static_cast<double>(tasks_moved_) * config_.wan_transfer_energy_j;
+  for (std::size_t i = 0; i < engines_.size(); ++i)
+    result.sites.push_back(SiteResult{
+        config_.sites[i].name, engines_[i]->finalize().result});
+  return result;
+}
+
+FederationResult run_federation(const FederationConfig& config) {
+  FederationEngine engine(config);
+  return engine.run();
+}
+
+FederationConfig make_follow_the_sun(const core::ExperimentConfig& base,
+                                     int sites) {
+  GM_CHECK(sites >= 1, "need at least one site");
+  FederationConfig config;
+  for (int i = 0; i < sites; ++i) {
+    SiteConfig site;
+    site.name = "site-" + std::to_string(i);
+    site.experiment = base;
+    site.experiment.solar.utc_offset_h =
+        i * (24.0 / sites) <= 14.0 ? i * (24.0 / sites)
+                                   : i * (24.0 / sites) - 24.0;
+    site.experiment.solar.seed = base.solar.seed + i * 101;
+    site.experiment.workload.seed = base.workload.seed + i * 777;
+    config.sites.push_back(std::move(site));
+  }
+  return config;
+}
+
+}  // namespace gm::federation

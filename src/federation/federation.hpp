@@ -1,0 +1,105 @@
+#pragma once
+// Multi-site federation: the follow-the-sun extension the lineage's
+// introduction motivates. Several sites — each a full SimulationEngine
+// with its own cluster, workload, solar phase (utc offset) and battery
+// — run in lockstep on a common clock. At each slot boundary a broker
+// moves transferable deferrable tasks from the site with the worst
+// green outlook to the site with the best, paying a WAN transfer
+// energy per moved task.
+//
+// Foreground I/O never moves (it is bound to its data); only
+// background tasks with enough slack migrate, and they are re-homed
+// into the destination's placement-group universe (modeling that the
+// destination holds a geo-replica of the data the task touches).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace gm::federation {
+
+struct SiteConfig {
+  std::string name;
+  core::ExperimentConfig experiment;
+};
+
+struct FederationConfig {
+  std::vector<SiteConfig> sites;
+  /// Enables the follow-the-sun broker (off = isolated sites).
+  bool enable_task_routing = true;
+  /// A task only moves if its slack exceeds this (it must survive the
+  /// transfer and still be schedulable flexibly at the destination).
+  Seconds min_slack_to_move_s = 6 * 3600.0;
+  /// Broker acts only when the best site's green surplus exceeds the
+  /// worst's by at least this much.
+  Watts min_surplus_gap_w = 2000.0;
+  /// Look-ahead window (slots) used to decide whether the donor can
+  /// cover its own pending work with local green energy.
+  int donor_lookahead_slots = 24;
+  std::size_t max_moves_per_slot = 16;
+  /// Energy to ship one task's state/data cross-site (both NICs + WAN
+  /// amortization). Charged to the federation, outside site ledgers.
+  Joules wan_transfer_energy_j = 30e3;
+
+  void validate() const;
+};
+
+struct SiteResult {
+  std::string name;
+  metrics::RunResult result;
+};
+
+struct FederationResult {
+  std::vector<SiteResult> sites;
+  std::uint64_t tasks_moved = 0;
+  Joules wan_energy_j = 0.0;
+
+  double total_brown_kwh() const;
+  double total_green_supply_kwh() const;
+  double total_demand_kwh() const;
+  double total_curtailed_kwh() const;
+  std::uint64_t total_deadline_misses() const;
+  /// Brown + WAN (everything the grid ultimately supplies).
+  double total_grid_kwh() const {
+    return total_brown_kwh() + j_to_kwh(wan_energy_j);
+  }
+};
+
+class FederationEngine {
+ public:
+  explicit FederationEngine(const FederationConfig& config);
+
+  FederationResult run();
+
+  std::size_t site_count() const { return engines_.size(); }
+
+ private:
+  /// Green surplus score of a site for slot `slot` (signal the broker
+  /// ranks by): forecast green power minus the foreground-committed
+  /// power estimate.
+  Watts surplus_score(std::size_t site, SlotIndex slot) const;
+  /// Green surplus energy a site expects over [slot, slot+window).
+  Joules upcoming_surplus_j(std::size_t site, SlotIndex slot,
+                            int window) const;
+  /// Energy the site's pending deferrable work will consume.
+  Joules pending_work_energy_j(std::size_t site) const;
+  void broker_slot(SlotIndex slot, SimTime now);
+
+  FederationConfig config_;
+  std::vector<std::unique_ptr<core::SimulationEngine>> engines_;
+  std::uint64_t tasks_moved_ = 0;
+  storage::TaskId next_moved_task_id_ = 3'000'000'000ULL;
+};
+
+/// Convenience wrapper.
+FederationResult run_federation(const FederationConfig& config);
+
+/// Builds an N-site follow-the-sun configuration from a base
+/// experiment: site i gets utc offset i·(24/N) h, a distinct workload
+/// and weather seed, and the base's panels/battery.
+FederationConfig make_follow_the_sun(const core::ExperimentConfig& base,
+                                     int sites);
+
+}  // namespace gm::federation

@@ -1,0 +1,44 @@
+#include "metrics/report.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace gm::metrics {
+
+void RunResult::print_summary(std::ostream& out) const {
+  const auto kwh = [](Joules j) { return j_to_kwh(j); };
+  out << std::fixed << std::setprecision(2);
+  out << "policy: " << scheduler.policy_name << '\n'
+      << "  duration:            " << s_to_days(static_cast<double>(duration))
+      << " days\n"
+      << "  demand:              " << kwh(energy.demand_j) << " kWh\n"
+      << "  green supply:        " << kwh(energy.green_supply_j) << " kWh\n"
+      << "  green used directly: " << kwh(energy.green_direct_j) << " kWh\n"
+      << "  battery in/out:      " << kwh(energy.battery_charge_drawn_j)
+      << " / " << kwh(energy.battery_discharged_j) << " kWh\n"
+      << "  brown energy:        " << kwh(energy.brown_j) << " kWh\n"
+      << "  curtailed green:     " << kwh(energy.curtailed_j) << " kWh\n"
+      << "  green utilization:   " << energy.green_utilization() * 100.0
+      << " %\n"
+      << "  battery losses:      "
+      << kwh(battery.conversion_loss_j + battery.self_discharge_loss_j)
+      << " kWh (" << battery.equivalent_cycles << " cycles)\n"
+      << "  transition overhead: " << kwh(energy.overhead_transition_j)
+      << " kWh, migration overhead: " << kwh(energy.overhead_migration_j)
+      << " kWh\n"
+      << "  tasks:               " << qos.tasks_completed << "/"
+      << qos.tasks_total << " completed, "
+      << qos.deadline_misses << " deadline misses ("
+      << qos.deadline_miss_rate() * 100.0 << " %)\n"
+      << "  read latency:        p50 " << qos.read_latency_p50_s * 1000.0
+      << " ms, p95 " << qos.read_latency_p95_s * 1000.0 << " ms, p99 "
+      << qos.read_latency_p99_s * 1000.0 << " ms\n"
+      << "  mean active nodes:   " << scheduler.mean_active_nodes << '\n'
+      << "  power cycles:        " << scheduler.node_power_ons << " on / "
+      << scheduler.node_power_offs << " off, migrations "
+      << scheduler.task_migrations << '\n'
+      << "  grid carbon:         " << grid_carbon_g / 1000.0 << " kgCO2e, "
+      << "cost $" << grid_cost_usd << '\n';
+}
+
+}  // namespace gm::metrics

@@ -1,0 +1,89 @@
+#pragma once
+// Run-level results: everything a bench or example needs to print a
+// paper-style row. Produced by the simulation engine, aggregated from
+// the energy ledger, battery telemetry, QoS trackers and scheduler
+// action counters.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "energy/ledger.hpp"
+#include "util/units.hpp"
+
+namespace gm::metrics {
+
+struct QosReport {
+  std::uint64_t foreground_requests = 0;
+  std::uint64_t unavailable_reads = 0;
+  double read_latency_p50_s = 0.0;
+  double read_latency_p95_s = 0.0;
+  double read_latency_p99_s = 0.0;
+  std::uint64_t offloaded_writes = 0;
+
+  std::uint64_t tasks_total = 0;
+  std::uint64_t tasks_completed = 0;
+  std::uint64_t deadline_misses = 0;
+  double deadline_miss_rate() const {
+    return tasks_total ? static_cast<double>(deadline_misses) /
+                             static_cast<double>(tasks_total)
+                       : 0.0;
+  }
+  /// Mean completion delay relative to release (hours).
+  double mean_task_sojourn_h = 0.0;
+};
+
+struct BatteryReport {
+  Joules capacity_j = 0.0;
+  Joules charged_in_j = 0.0;
+  Joules discharged_out_j = 0.0;
+  Joules conversion_loss_j = 0.0;
+  Joules self_discharge_loss_j = 0.0;
+  Joules final_stored_j = 0.0;
+  double equivalent_cycles = 0.0;
+  double health_fraction = 1.0;  ///< remaining capacity / nameplate
+  double volume_l = 0.0;
+  double price_usd = 0.0;
+};
+
+struct SchedulerReport {
+  std::string policy_name;
+  std::uint64_t node_power_ons = 0;
+  std::uint64_t node_power_offs = 0;
+  std::uint64_t task_migrations = 0;
+  std::uint64_t forced_wakeups = 0;
+  std::uint64_t forced_urgent_runs = 0;
+  std::uint64_t assignment_failures = 0;
+  std::uint64_t nodes_failed = 0;  ///< injected hardware failures
+  double mean_active_nodes = 0.0;
+  double plan_solve_ms_total = 0.0;  ///< planner CPU time (telemetry)
+};
+
+struct RunResult {
+  energy::LedgerTotals energy;
+  QosReport qos;
+  BatteryReport battery;
+  SchedulerReport scheduler;
+  double grid_carbon_g = 0.0;
+  double grid_cost_usd = 0.0;
+  SimTime duration = 0;
+
+  double brown_kwh() const { return j_to_kwh(energy.brown_j); }
+  double green_supply_kwh() const {
+    return j_to_kwh(energy.green_supply_j);
+  }
+  double curtailed_kwh() const { return j_to_kwh(energy.curtailed_j); }
+  double demand_kwh() const { return j_to_kwh(energy.demand_j); }
+  /// Total losses attributable to storage + scheduling overheads.
+  double losses_kwh() const {
+    return j_to_kwh(battery.conversion_loss_j +
+                    battery.self_discharge_loss_j +
+                    energy.overhead_transition_j +
+                    energy.overhead_migration_j);
+  }
+
+  /// Human-readable multi-line summary.
+  void print_summary(std::ostream& out) const;
+};
+
+}  // namespace gm::metrics

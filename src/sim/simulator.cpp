@@ -1,0 +1,79 @@
+#include "sim/simulator.hpp"
+
+namespace gm::sim {
+
+void Simulator::push(SimTime at, EventCallback cb,
+                     std::shared_ptr<EventHandle::State> state,
+                     bool periodic) {
+  queue_.push(Item{at, next_seq_++, std::move(cb), std::move(state),
+                   periodic});
+}
+
+EventHandle Simulator::schedule_at(SimTime at, EventCallback cb) {
+  GM_CHECK(at >= now_,
+           "cannot schedule in the past: at=" << at << " now=" << now_);
+  GM_ASSERT(cb != nullptr);
+  EventHandle handle;
+  handle.state_ = std::make_shared<EventHandle::State>();
+  push(at, std::move(cb), handle.state_, /*periodic=*/false);
+  return handle;
+}
+
+EventHandle Simulator::schedule_periodic(SimTime first, SimTime period,
+                                         EventCallback cb) {
+  GM_CHECK(period > 0, "periodic event needs positive period: " << period);
+  GM_CHECK(first >= now_, "periodic start in the past: " << first);
+  GM_ASSERT(cb != nullptr);
+  EventHandle handle;
+  handle.state_ = std::make_shared<EventHandle::State>();
+
+  const std::size_t index = periodic_tasks_.size();
+  periodic_tasks_.push_back(
+      PeriodicTask{period, std::move(cb), handle.state_});
+  push(first, [this, index] { fire_periodic(index); }, handle.state_,
+       /*periodic=*/true);
+  return handle;
+}
+
+void Simulator::fire_periodic(std::size_t index) {
+  PeriodicTask& task = periodic_tasks_[index];
+  // The tombstone check in run_until already skipped cancelled chains,
+  // but the callback may cancel the chain; re-check before rescheduling.
+  task.cb();
+  if (!task.state->done) {
+    push(now_ + task.period, [this, index] { fire_periodic(index); },
+         task.state, /*periodic=*/true);
+  }
+}
+
+void Simulator::run_until(SimTime until) {
+  while (!queue_.empty()) {
+    if (queue_.top().time > until) break;
+    // priority_queue::top() is const; moving out is safe because the
+    // element is popped immediately after.
+    Item item = std::move(const_cast<Item&>(queue_.top()));
+    queue_.pop();
+    if (item.state->done) continue;  // cancelled tombstone
+    GM_ASSERT_MSG(item.time >= now_, "event queue time went backwards");
+    now_ = item.time;
+    if (!item.periodic) item.state->done = true;
+    ++executed_;
+    item.cb();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    Item item = std::move(const_cast<Item&>(queue_.top()));
+    queue_.pop();
+    if (item.state->done) continue;
+    GM_ASSERT_MSG(item.time >= now_, "event queue time went backwards");
+    now_ = item.time;
+    if (!item.periodic) item.state->done = true;
+    ++executed_;
+    item.cb();
+  }
+}
+
+}  // namespace gm::sim

@@ -1,0 +1,117 @@
+#pragma once
+// Discrete-event simulation kernel.
+//
+// Events are callbacks scheduled at absolute timestamps. Ordering is
+// (time, sequence-number), so events at the same timestamp fire in
+// scheduling order — a property the slot-boundary logic relies on
+// (supply update before scheduler decision before demand integration).
+// Cancellation uses tombstones: a cancelled event's slot stays in the
+// heap and is skipped on pop, keeping cancel O(1).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/time_types.hpp"
+
+namespace gm::sim {
+
+using EventCallback = std::function<void()>;
+
+/// Handle to a scheduled event; allows cancellation. Handles are cheap
+/// to copy (shared ownership of a small control block). For periodic
+/// events the handle controls the whole chain.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True if the event (or periodic chain) has neither fired to
+  /// completion nor been cancelled.
+  bool pending() const { return state_ && !state_->done; }
+
+  /// Cancel if still pending. Safe to call repeatedly and on
+  /// default-constructed handles; safe from inside the callback.
+  void cancel() {
+    if (state_) state_->done = true;
+  }
+
+ private:
+  friend class Simulator;
+  struct State {
+    bool done = false;
+  };
+  std::shared_ptr<State> state_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `at` (>= now()).
+  EventHandle schedule_at(SimTime at, EventCallback cb);
+
+  /// Schedule `cb` after a non-negative delay.
+  EventHandle schedule_after(SimTime delay, EventCallback cb) {
+    GM_CHECK(delay >= 0, "negative event delay: " << delay);
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Schedule `cb` every `period` seconds starting at absolute time
+  /// `first`. Cancelling the returned handle stops the chain (also
+  /// from within the callback itself).
+  EventHandle schedule_periodic(SimTime first, SimTime period,
+                                EventCallback cb);
+
+  /// Run until the event queue drains or the clock would pass `until`.
+  /// Events exactly at `until` do fire; the clock ends at `until`
+  /// (even if the queue drained earlier).
+  void run_until(SimTime until);
+
+  /// Run until the queue is empty.
+  void run();
+
+  /// Number of events executed so far (telemetry / tests).
+  std::uint64_t events_executed() const { return executed_; }
+
+  /// Heap occupancy, including not-yet-collected cancelled tombstones.
+  std::size_t queue_size() const { return queue_.size(); }
+
+ private:
+  struct Item {
+    SimTime time;
+    std::uint64_t seq;
+    EventCallback cb;
+    std::shared_ptr<EventHandle::State> state;
+    bool periodic = false;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  struct PeriodicTask {
+    SimTime period = 0;
+    EventCallback cb;
+    std::shared_ptr<EventHandle::State> state;
+  };
+
+  void push(SimTime at, EventCallback cb,
+            std::shared_ptr<EventHandle::State> state, bool periodic);
+  void fire_periodic(std::size_t index);
+
+  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  std::vector<PeriodicTask> periodic_tasks_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace gm::sim

@@ -1,0 +1,102 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace gm::sim {
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  mean_ = (na * mean_ + nb * other.mean_) / n;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void TimeWeighted::set(SimTime t, double value) {
+  if (!started_) {
+    start_time_ = last_time_;
+    started_ = true;
+  }
+  GM_CHECK(t >= last_time_, "TimeWeighted time went backwards: " << t
+                                << " < " << last_time_);
+  integral_ += value_ * static_cast<double>(t - last_time_);
+  last_time_ = t;
+  value_ = value;
+}
+
+double TimeWeighted::time_average() const {
+  const SimTime dt = elapsed();
+  return dt > 0 ? integral_ / static_cast<double>(dt) : 0.0;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)) {
+  GM_CHECK(hi > lo, "histogram range empty: [" << lo << ", " << hi << ")");
+  GM_CHECK(bins > 0, "histogram needs at least one bin");
+  counts_.resize(bins, 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    if (idx >= counts_.size()) idx = counts_.size() - 1;  // fp edge
+    ++counts_[idx];
+  }
+}
+
+double Histogram::quantile(double q) const {
+  GM_CHECK(q >= 0.0 && q <= 1.0, "quantile q out of range: " << q);
+  GM_CHECK(total_ > 0, "quantile of empty histogram");
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (target <= cum) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (target <= next && counts_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return lo_ + (static_cast<double>(i) + frac) * width_;
+    }
+    cum = next;
+  }
+  return hi_;  // in the overflow bin: report the range upper bound
+}
+
+}  // namespace gm::sim

@@ -1,0 +1,95 @@
+#pragma once
+// Online statistics used throughout the simulator:
+//  - Accumulator: count/mean/variance/min/max via Welford's algorithm;
+//  - TimeWeighted: integrates a piecewise-constant signal over
+//    simulation time (powered-on servers, battery level, ...);
+//  - Histogram: fixed-width bins with overflow, quantile estimates
+//    (latency percentiles);
+//  - Counter: named monotonic counters.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time_types.hpp"
+
+namespace gm::sim {
+
+/// Welford online mean/variance with min/max tracking.
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for n < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merge another accumulator (parallel sweeps combine shards).
+  void merge(const Accumulator& other);
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Integral of a piecewise-constant signal over simulation time.
+/// Typical use: track powered-on node count; `integral()` then gives
+/// node-seconds, and `time_average()` the mean powered-on count.
+class TimeWeighted {
+ public:
+  explicit TimeWeighted(SimTime start = 0, double initial = 0.0)
+      : last_time_(start), value_(initial) {}
+
+  /// Record that the signal changed to `value` at time `t` (>= last).
+  void set(SimTime t, double value);
+
+  /// Advance time without changing the value (finalize at run end).
+  void advance_to(SimTime t) { set(t, value_); }
+
+  double value() const { return value_; }
+  double integral() const { return integral_; }
+  SimTime elapsed() const { return last_time_ - start_time_; }
+  /// integral / elapsed; 0 if no time has passed.
+  double time_average() const;
+
+ private:
+  SimTime start_time_ = 0;
+  SimTime last_time_ = 0;
+  double value_ = 0.0;
+  double integral_ = 0.0;
+  bool started_ = false;
+};
+
+/// Fixed-width-bin histogram over [lo, hi) with underflow/overflow
+/// bins. Quantiles interpolate within bins, which is accurate enough
+/// for latency percentiles at the bin resolutions used here.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::uint64_t count() const { return total_; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  double quantile(double q) const;  ///< q in [0, 1]
+  double bin_lo() const { return lo_; }
+  double bin_hi() const { return hi_; }
+  std::size_t bin_count() const { return counts_.size(); }
+  std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+}  // namespace gm::sim

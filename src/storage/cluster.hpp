@@ -1,0 +1,84 @@
+#pragma once
+// Cluster: the node/rack topology plus the placement map, with the
+// coverage logic a renewable-aware power manager needs — which nodes
+// can be deactivated while every placement group keeps at least one
+// replica on an active node.
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/node.hpp"
+#include "storage/placement.hpp"
+#include "storage/types.hpp"
+
+namespace gm::storage {
+
+struct ClusterConfig {
+  int racks = 4;
+  int nodes_per_rack = 16;
+  NodeConfig node;
+  PlacementConfig placement;
+
+  int total_nodes() const { return racks * nodes_per_rack; }
+  void validate() const;
+};
+
+/// Which nodes a power decision keeps active. Index = NodeId.
+using ActiveSet = std::vector<bool>;
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+
+  const ClusterConfig& config() const { return config_; }
+  std::size_t node_count() const { return nodes_.size(); }
+  StorageNode& node(NodeId id);
+  const StorageNode& node(NodeId id) const;
+  std::vector<StorageNode>& nodes() { return nodes_; }
+  const std::vector<StorageNode>& nodes() const { return nodes_; }
+
+  const PlacementMap& placement() const { return placement_; }
+
+  /// Number of placement groups with >= 1 replica in `active`.
+  std::uint32_t covered_groups(const ActiveSet& active) const;
+  bool is_feasible(const ActiveSet& active) const {
+    return covered_groups(active) == placement_.group_count();
+  }
+
+  /// Smallest feasible active-node count reachable by the greedy
+  /// deactivation order (upper bound on the optimum set cover).
+  int min_feasible_count() const;
+
+  /// Deterministically chooses a feasible active set with at most
+  /// `target` nodes beyond feasibility needs: starts from all-active
+  /// and greedily deactivates (highest NodeId first) while feasible,
+  /// stopping once the active count reaches `target`. The result is
+  /// always feasible; it may exceed `target` when coverage demands it.
+  ///
+  /// `excluded` (optional, indexed by NodeId) marks nodes that must
+  /// stay inactive — failed hardware. Groups whose replicas are all
+  /// excluded are unavoidably dark and do not constrain the choice;
+  /// every other group keeps an active replica.
+  ActiveSet choose_active_set(int target,
+                              const std::vector<bool>* excluded =
+                                  nullptr) const;
+
+  /// Coverage achievable at best given the exclusions (groups with at
+  /// least one non-excluded replica).
+  std::uint32_t coverable_groups(const std::vector<bool>& excluded) const;
+
+  /// Count of true entries.
+  static int active_count(const ActiveSet& active);
+
+  /// Storage-capacity utilization of a node: stored bytes / capacity.
+  double node_storage_utilization(NodeId id) const;
+  /// The most-filled node's utilization (validated <= 1 on build).
+  double max_storage_utilization() const;
+
+ private:
+  ClusterConfig config_;
+  std::vector<StorageNode> nodes_;
+  PlacementMap placement_;
+};
+
+}  // namespace gm::storage

@@ -1,0 +1,76 @@
+#include "storage/disk.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace gm::storage {
+
+const char* disk_state_name(DiskState state) {
+  switch (state) {
+    case DiskState::kActive: return "active";
+    case DiskState::kIdle: return "idle";
+    case DiskState::kStandby: return "standby";
+    case DiskState::kSpinningUp: return "spinning-up";
+  }
+  return "?";
+}
+
+void DiskConfig::validate() const {
+  GM_CHECK(active_power_w >= idle_power_w &&
+               idle_power_w >= standby_power_w && standby_power_w >= 0.0,
+           "disk power states must be ordered active >= idle >= standby");
+  GM_CHECK(spinup_time_s > 0.0, "spin-up time must be positive");
+  GM_CHECK(bandwidth_bytes_per_s > 0.0, "disk bandwidth must be positive");
+  GM_CHECK(capacity_bytes > 0.0, "disk capacity must be positive");
+  GM_CHECK(avg_seek_s >= 0.0, "seek time must be non-negative");
+  GM_CHECK(max_spinup_cycles_per_day > 0.0,
+           "cycle budget must be positive");
+}
+
+SimTime Disk::begin_spinup(SimTime t) {
+  if (spinning()) return t;
+  if (state_ == DiskState::kSpinningUp) return spinup_done_;
+  GM_ASSERT(state_ == DiskState::kStandby);
+  state_ = DiskState::kSpinningUp;
+  spinup_done_ = t + static_cast<SimTime>(config_.spinup_time_s);
+  ++spinup_count_;
+  return spinup_done_;
+}
+
+void Disk::complete_spinup(SimTime t) {
+  GM_ASSERT_MSG(state_ == DiskState::kSpinningUp,
+                "complete_spinup in state " << disk_state_name(state_));
+  GM_ASSERT_MSG(t >= spinup_done_, "spin-up completed early");
+  state_ = DiskState::kIdle;
+}
+
+void Disk::spin_down(SimTime) {
+  GM_CHECK(spinning(), "spin_down from state " << disk_state_name(state_));
+  state_ = DiskState::kStandby;
+}
+
+Seconds Disk::service_time_s(std::uint64_t bytes) const {
+  GM_CHECK(spinning(), "I/O on non-spinning disk (state "
+                           << disk_state_name(state_) << ")");
+  return config_.avg_seek_s +
+         static_cast<double>(bytes) / config_.bandwidth_bytes_per_s;
+}
+
+Watts Disk::power_w() const {
+  switch (state_) {
+    case DiskState::kActive: return config_.active_power_w;
+    case DiskState::kIdle: return config_.idle_power_w;
+    case DiskState::kStandby: return config_.standby_power_w;
+    case DiskState::kSpinningUp: return config_.spinup_power_w;
+  }
+  GM_UNREACHABLE("invalid disk state");
+}
+
+bool Disk::cycle_budget_allows(double elapsed_days) const {
+  const double budget =
+      config_.max_spinup_cycles_per_day * std::max(elapsed_days, 1.0);
+  return static_cast<double>(spinup_count_ + 1) <= budget;
+}
+
+}  // namespace gm::storage

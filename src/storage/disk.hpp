@@ -1,0 +1,88 @@
+#pragma once
+// Hard-disk model: power states with spin-up/down transitions (the
+// MAID-style lever a renewable-aware storage scheduler pulls), a
+// seek+transfer service-time model, and per-disk telemetry.
+//
+// The disk is a passive state machine driven by its owning node: state
+// changes take effect over a transition latency, and the transition
+// energy is reported to the caller for ledger accounting.
+
+#include <cstdint>
+
+#include "storage/types.hpp"
+#include "util/time_types.hpp"
+#include "util/units.hpp"
+
+namespace gm::storage {
+
+enum class DiskState : std::uint8_t {
+  kActive = 0,   ///< servicing I/O
+  kIdle,         ///< spinning, no I/O
+  kStandby,      ///< spun down
+  kSpinningUp,   ///< transition standby → idle
+};
+
+const char* disk_state_name(DiskState state);
+
+struct DiskConfig {
+  Watts active_power_w = 11.0;
+  Watts idle_power_w = 7.0;
+  Watts standby_power_w = 0.9;
+  Watts spinup_power_w = 24.0;     ///< draw during spin-up
+  Seconds spinup_time_s = 10.0;
+  Seconds spindown_time_s = 3.0;   ///< modeled as instant, energy-free
+  /// Serviceability model.
+  Seconds avg_seek_s = 0.008;
+  double bandwidth_bytes_per_s = 150e6;
+  double capacity_bytes = 4e12;  ///< 4 TB
+  /// Reliability guard: start/stop cycles per day beyond which the
+  /// power manager must refuse further spin-downs.
+  double max_spinup_cycles_per_day = 10.0;
+
+  void validate() const;
+  /// Energy consumed by one complete spin-up transition.
+  Joules spinup_energy_j() const { return spinup_power_w * spinup_time_s; }
+};
+
+class Disk {
+ public:
+  Disk(DiskId id, const DiskConfig& config)
+      : id_(id), config_(config) {
+    config_.validate();
+  }
+
+  DiskId id() const { return id_; }
+  const DiskConfig& config() const { return config_; }
+  DiskState state() const { return state_; }
+  bool spinning() const {
+    return state_ == DiskState::kActive || state_ == DiskState::kIdle;
+  }
+
+  /// Begin spin-up at time t; returns the completion time. No-op (and
+  /// returns t) if already spinning or spinning up.
+  SimTime begin_spinup(SimTime t);
+  /// Called by the node when the spin-up completes.
+  void complete_spinup(SimTime t);
+  /// Spin the disk down (instantaneous). Only legal from idle/active.
+  void spin_down(SimTime t);
+
+  /// Service time for a request of `bytes` (disk must be spinning).
+  Seconds service_time_s(std::uint64_t bytes) const;
+
+  /// Instantaneous power for the current state.
+  Watts power_w() const;
+
+  std::uint64_t spinup_count() const { return spinup_count_; }
+  /// True if another spin-down→up cycle would still respect the
+  /// reliability budget given total elapsed days.
+  bool cycle_budget_allows(double elapsed_days) const;
+
+ private:
+  DiskId id_;
+  DiskConfig config_;
+  DiskState state_ = DiskState::kIdle;
+  SimTime spinup_done_ = 0;
+  std::uint64_t spinup_count_ = 0;
+};
+
+}  // namespace gm::storage

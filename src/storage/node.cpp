@@ -1,0 +1,112 @@
+#include "storage/node.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/math_utils.hpp"
+
+namespace gm::storage {
+
+const char* node_state_name(NodeState state) {
+  switch (state) {
+    case NodeState::kOn: return "on";
+    case NodeState::kOff: return "off";
+    case NodeState::kBooting: return "booting";
+    case NodeState::kShuttingDown: return "shutting-down";
+  }
+  return "?";
+}
+
+void NodeConfig::validate() const {
+  GM_CHECK(cpu_peak_w >= cpu_idle_w && cpu_idle_w > 0.0,
+           "node power model requires peak >= idle > 0");
+  GM_CHECK(disks_per_node >= 0, "negative disk count");
+  GM_CHECK(boot_time_s >= 0.0 && shutdown_time_s >= 0.0,
+           "transition times must be non-negative");
+  GM_CHECK(task_slots >= 0, "negative task slots");
+  disk.validate();
+}
+
+StorageNode::StorageNode(NodeId id, RackId rack, const NodeConfig& config)
+    : id_(id), rack_(rack), config_(config) {
+  config_.validate();
+  disks_.reserve(config_.disks_per_node);
+  for (int d = 0; d < config_.disks_per_node; ++d)
+    disks_.emplace_back(static_cast<DiskId>(d), config_.disk);
+}
+
+SimTime StorageNode::begin_power_on(SimTime t) {
+  switch (state_) {
+    case NodeState::kOn: return t;
+    case NodeState::kBooting: return transition_done_;
+    case NodeState::kShuttingDown:
+      GM_CHECK(false, "power-on while shutting down (node " << id_ << ")");
+      return 0;  // unreachable
+    case NodeState::kOff: break;
+  }
+  state_ = NodeState::kBooting;
+  transition_done_ = t + static_cast<SimTime>(config_.boot_time_s);
+  ++power_cycles_;
+  return transition_done_;
+}
+
+void StorageNode::complete_power_on(SimTime t) {
+  GM_ASSERT_MSG(state_ == NodeState::kBooting,
+                "complete_power_on in state " << node_state_name(state_));
+  GM_ASSERT(t >= transition_done_);
+  state_ = NodeState::kOn;
+  // Disks come up idle with the node (their spin-up is folded into the
+  // node boot time and energy).
+  for (auto& d : disks_)
+    if (!d.spinning() && d.state() != DiskState::kSpinningUp) {
+      d.begin_spinup(t - static_cast<SimTime>(config_.disk.spinup_time_s));
+      d.complete_spinup(t);
+    }
+}
+
+SimTime StorageNode::begin_power_off(SimTime t) {
+  switch (state_) {
+    case NodeState::kOff: return t;
+    case NodeState::kShuttingDown: return transition_done_;
+    case NodeState::kBooting:
+      GM_CHECK(false, "power-off while booting (node " << id_ << ")");
+      return 0;  // unreachable
+    case NodeState::kOn: break;
+  }
+  for (auto& d : disks_)
+    if (d.spinning()) d.spin_down(t);
+  state_ = NodeState::kShuttingDown;
+  transition_done_ = t + static_cast<SimTime>(config_.shutdown_time_s);
+  return transition_done_;
+}
+
+void StorageNode::complete_power_off(SimTime t) {
+  GM_ASSERT_MSG(state_ == NodeState::kShuttingDown,
+                "complete_power_off in state " << node_state_name(state_));
+  GM_ASSERT(t >= transition_done_);
+  state_ = NodeState::kOff;
+}
+
+Watts StorageNode::power_w(double cpu_utilization) const {
+  GM_CHECK(cpu_utilization >= 0.0 && cpu_utilization <= 1.0 + 1e-9,
+           "utilization out of range: " << cpu_utilization);
+  switch (state_) {
+    case NodeState::kOff: return 0.0;
+    case NodeState::kBooting:
+    case NodeState::kShuttingDown: return config_.boot_power_w;
+    case NodeState::kOn: break;
+  }
+  const double u = clamp(cpu_utilization, 0.0, 1.0);
+  Watts total = config_.cpu_idle_w +
+                (config_.cpu_peak_w - config_.cpu_idle_w) * u;
+  for (const auto& d : disks_) total += d.power_w();
+  return total;
+}
+
+double StorageNode::task_utilization(int running_tasks,
+                                     double per_task_util) const {
+  GM_CHECK(running_tasks >= 0, "negative task count");
+  return clamp(running_tasks * per_task_util, 0.0, 1.0);
+}
+
+}  // namespace gm::storage

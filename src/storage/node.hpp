@@ -1,0 +1,95 @@
+#pragma once
+// Storage node: a server with a CPU power model (idle ≈ half of peak,
+// the structural fact green scheduling exploits) and an enclosure of
+// disks. Nodes transition between power states with a latency and an
+// energy cost that the ledger charges as transition overhead.
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/disk.hpp"
+#include "storage/types.hpp"
+#include "util/units.hpp"
+
+namespace gm::storage {
+
+enum class NodeState : std::uint8_t {
+  kOn = 0,
+  kOff,
+  kBooting,
+  kShuttingDown,
+};
+
+const char* node_state_name(NodeState state);
+
+struct NodeConfig {
+  Watts cpu_idle_w = 95.0;   ///< chassis + CPU at zero utilization
+  Watts cpu_peak_w = 190.0;  ///< at full utilization
+  int disks_per_node = 4;
+  DiskConfig disk;
+
+  Seconds boot_time_s = 120.0;
+  Seconds shutdown_time_s = 30.0;
+  Watts boot_power_w = 150.0;       ///< draw while booting/shutting down
+
+  /// Concurrent background tasks a node can host.
+  int task_slots = 4;
+
+  void validate() const;
+  /// Energy of a full off→on→off cycle's transitions.
+  Joules boot_energy_j() const { return boot_power_w * boot_time_s; }
+  Joules shutdown_energy_j() const {
+    return boot_power_w * shutdown_time_s;
+  }
+  /// Power of a node that is on with all disks idle and zero load.
+  Watts idle_floor_w() const {
+    return cpu_idle_w + disks_per_node * disk.idle_power_w;
+  }
+  /// Power at full utilization with all disks active.
+  Watts peak_w() const {
+    return cpu_peak_w + disks_per_node * disk.active_power_w;
+  }
+};
+
+class StorageNode {
+ public:
+  StorageNode(NodeId id, RackId rack, const NodeConfig& config);
+
+  NodeId id() const { return id_; }
+  RackId rack() const { return rack_; }
+  const NodeConfig& config() const { return config_; }
+  NodeState state() const { return state_; }
+  bool available() const { return state_ == NodeState::kOn; }
+
+  std::vector<Disk>& disks() { return disks_; }
+  const std::vector<Disk>& disks() const { return disks_; }
+
+  /// Begin power-on at time t. Returns completion time; no-op when
+  /// already on (returns t) or booting (returns pending completion).
+  SimTime begin_power_on(SimTime t);
+  void complete_power_on(SimTime t);
+
+  /// Begin shutdown; returns completion time. All disks spin down.
+  SimTime begin_power_off(SimTime t);
+  void complete_power_off(SimTime t);
+
+  /// Instantaneous power at a given CPU utilization in [0, 1]. The
+  /// standard linear model: idle + (peak - idle) × u, plus disks.
+  Watts power_w(double cpu_utilization) const;
+
+  /// Utilization added by `running_tasks` background tasks (clamped).
+  double task_utilization(int running_tasks, double per_task_util) const;
+
+  std::uint64_t power_cycle_count() const { return power_cycles_; }
+
+ private:
+  NodeId id_;
+  RackId rack_;
+  NodeConfig config_;
+  NodeState state_ = NodeState::kOn;
+  SimTime transition_done_ = 0;
+  std::uint64_t power_cycles_ = 0;
+  std::vector<Disk> disks_;
+};
+
+}  // namespace gm::storage

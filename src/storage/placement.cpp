@@ -1,0 +1,141 @@
+#include "storage/placement.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+
+namespace gm::storage {
+
+void PlacementConfig::validate() const {
+  GM_CHECK(group_count > 0, "placement needs at least one group");
+  GM_CHECK(replication >= 1, "replication must be >= 1");
+  GM_CHECK(mean_group_bytes > 0.0, "group data size must be positive");
+  GM_CHECK(group_bytes_sigma >= 0.0, "negative data-size sigma");
+}
+
+PlacementMap::PlacementMap(const PlacementConfig& config,
+                           std::vector<NodeDescriptor> nodes)
+    : config_(config), nodes_(std::move(nodes)) {
+  config_.validate();
+  GM_CHECK(!nodes_.empty(), "placement over an empty cluster");
+
+  // Count racks to decide whether rack-disjoint placement is possible.
+  std::unordered_map<RackId, int> rack_sizes;
+  for (const auto& n : nodes_) ++rack_sizes[n.rack];
+  const bool rack_disjoint =
+      rack_sizes.size() >= static_cast<std::size_t>(config_.replication);
+
+  group_replicas_.resize(config_.group_count);
+  node_groups_.resize(nodes_.size());
+
+  // Per-group data volumes (lognormal around the configured mean).
+  group_bytes_.resize(config_.group_count);
+  Rng data_rng(config_.seed ^ 0xda7aULL);
+  const double log_mu =
+      std::log(config_.mean_group_bytes) -
+      0.5 * config_.group_bytes_sigma * config_.group_bytes_sigma;
+  for (auto& bytes : group_bytes_)
+    bytes = sample_lognormal(data_rng, log_mu, config_.group_bytes_sigma);
+
+  NodeId max_id = 0;
+  for (const auto& n : nodes_) max_id = std::max(max_id, n.id);
+  id_to_index_.assign(max_id + 1, SIZE_MAX);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    GM_CHECK(id_to_index_[nodes_[i].id] == SIZE_MAX,
+             "duplicate node id in placement: " << nodes_[i].id);
+    id_to_index_[nodes_[i].id] = i;
+  }
+
+  struct Scored {
+    std::uint64_t score;
+    NodeId node;
+    RackId rack;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(nodes_.size());
+
+  for (GroupId g = 0; g < config_.group_count; ++g) {
+    scored.clear();
+    for (const auto& n : nodes_) {
+      const std::uint64_t score =
+          mix_hash(mix_hash(config_.seed, g), n.id);
+      scored.push_back({score, n.id, n.rack});
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const Scored& a, const Scored& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.node < b.node;
+              });
+
+    auto& replicas = group_replicas_[g];
+    std::vector<RackId> used_racks;
+    for (const auto& s : scored) {
+      if (replicas.size() == static_cast<std::size_t>(config_.replication))
+        break;
+      if (rack_disjoint &&
+          std::find(used_racks.begin(), used_racks.end(), s.rack) !=
+              used_racks.end())
+        continue;
+      replicas.push_back(s.node);
+      used_racks.push_back(s.rack);
+    }
+    // If rack-disjoint filling fell short (tiny clusters), relax it.
+    for (const auto& s : scored) {
+      if (replicas.size() == static_cast<std::size_t>(config_.replication))
+        break;
+      if (std::find(replicas.begin(), replicas.end(), s.node) ==
+          replicas.end())
+        replicas.push_back(s.node);
+    }
+    GM_CHECK(!replicas.empty(), "group " << g << " has no replicas");
+    for (NodeId n : replicas) node_groups_[id_to_index_[n]].push_back(g);
+  }
+}
+
+GroupId PlacementMap::group_of(ObjectId object) const {
+  return static_cast<GroupId>(mix_hash(config_.seed ^ 0xabcdef12345ULL,
+                                       object) %
+                              config_.group_count);
+}
+
+const std::vector<NodeId>& PlacementMap::replicas(GroupId group) const {
+  GM_CHECK(group < group_replicas_.size(),
+           "group out of range: " << group);
+  return group_replicas_[group];
+}
+
+std::size_t PlacementMap::index_of(NodeId node) const {
+  GM_CHECK(node < id_to_index_.size() && id_to_index_[node] != SIZE_MAX,
+           "unknown node in placement: " << node);
+  return id_to_index_[node];
+}
+
+const std::vector<GroupId>& PlacementMap::groups_on(NodeId node) const {
+  return node_groups_[index_of(node)];
+}
+
+double PlacementMap::group_bytes(GroupId group) const {
+  GM_CHECK(group < group_bytes_.size(), "group out of range: " << group);
+  return group_bytes_[group];
+}
+
+double PlacementMap::node_bytes(NodeId node) const {
+  double total = 0.0;
+  for (GroupId g : node_groups_[index_of(node)]) total += group_bytes_[g];
+  return total;
+}
+
+double PlacementMap::total_physical_bytes() const {
+  double total = 0.0;
+  for (GroupId g = 0; g < config_.group_count; ++g)
+    total += group_bytes_[g] *
+             static_cast<double>(group_replicas_[g].size());
+  return total;
+}
+
+}  // namespace gm::storage

@@ -1,0 +1,149 @@
+#include "storage/router.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace gm::storage {
+
+RequestRouter::RequestRouter(Cluster& cluster, const RouterConfig& config)
+    : cluster_(cluster),
+      config_(config),
+      latency_(0.0, config.latency_hist_max_s,
+               static_cast<std::size_t>(config.latency_hist_max_s * 1000.0)) {
+  disk_clocks_.resize(cluster_.node_count());
+  for (std::size_t n = 0; n < cluster_.node_count(); ++n)
+    disk_clocks_[n].resize(cluster_.node(static_cast<NodeId>(n))
+                               .disks()
+                               .size());
+}
+
+std::optional<std::pair<NodeId, DiskId>> RequestRouter::pick_disk(
+    GroupId group) const {
+  std::optional<std::pair<NodeId, DiskId>> best;
+  SimTime best_busy = kSimTimeMax;
+  for (NodeId n : cluster_.placement().replicas(group)) {
+    const StorageNode& node = cluster_.node(n);
+    if (!node.available()) continue;
+    for (DiskId d = 0; d < node.disks().size(); ++d) {
+      if (!node.disks()[d].spinning()) continue;
+      const SimTime busy = disk_clocks_[n][d].busy_until;
+      if (busy < best_busy) {
+        best_busy = busy;
+        best = std::make_pair(n, d);
+      }
+    }
+  }
+  return best;
+}
+
+std::optional<RequestOutcome> RequestRouter::route(const IoRequest& request,
+                                                   SimTime now,
+                                                   const NodeWaker& waker) {
+  ++stats_.requests;
+  if (request.is_write)
+    ++stats_.writes;
+  else
+    ++stats_.reads;
+
+  const GroupId group = cluster_.placement().group_of(request.object);
+  RequestOutcome outcome;
+  SimTime start = now;
+
+  auto target = pick_disk(group);
+  if (!target) {
+    // No active replica right now.
+    if (request.is_write && config_.allow_write_offload) {
+      // Log the write on *any* active node: cheap append, replayed by a
+      // reconciliation task later.
+      for (NodeId n = 0; n < cluster_.node_count(); ++n) {
+        const StorageNode& node = cluster_.node(n);
+        if (!node.available()) continue;
+        for (DiskId d = 0; d < node.disks().size(); ++d) {
+          if (!node.disks()[d].spinning()) continue;
+          auto& clock = disk_clocks_[n][d];
+          const SimTime begin = std::max(now, clock.busy_until);
+          const Seconds service =
+              node.disks()[d].service_time_s(request.size_bytes);
+          clock.busy_until = begin + static_cast<SimTime>(service + 0.5);
+          stats_.busy_disk_seconds += service;
+          ++stats_.offloaded_writes;
+
+          BackgroundTask replay;
+          replay.id = next_offload_task_id_++;
+          replay.type = TaskType::kRepair;
+          replay.release = now;
+          replay.deadline = now + static_cast<SimTime>(hours_to_s(12));
+          replay.work_s = config_.offload_replay_work_s;
+          replay.utilization = 0.05;
+          replay.group = group;
+          pending_offload_tasks_.push_back(replay);
+
+          outcome.completion = begin + static_cast<SimTime>(service);
+          outcome.latency_s =
+              static_cast<Seconds>(begin - request.arrival) + service;
+          outcome.served_by = n;
+          outcome.offloaded = true;
+          latency_.add(outcome.latency_s);
+          return outcome;
+        }
+      }
+      // No active node anywhere: fall through to forced wake-up.
+    }
+    if (!waker) {
+      if (!request.is_write) ++unavailable_reads_;
+      return std::nullopt;
+    }
+    start = waker(group, now);
+    if (start >= kSimTimeMax) {
+      // The waker could not produce a replica (all failed): the data
+      // is unavailable.
+      if (!request.is_write) ++unavailable_reads_;
+      return std::nullopt;
+    }
+    outcome.forced_wakeup = true;
+    ++stats_.forced_wakeups;
+    target = pick_disk(group);
+    if (!target) {
+      // Waker promised future availability; model the wait by serving
+      // at `start` on the first replica (its disk clock starts fresh).
+      const NodeId n = cluster_.placement().replicas(group).front();
+      const StorageNode& node = cluster_.node(n);
+      GM_CHECK(!node.disks().empty(), "replica node has no disks");
+      const Seconds service =
+          node.config().disk.avg_seek_s +
+          static_cast<double>(request.size_bytes) /
+              node.config().disk.bandwidth_bytes_per_s;
+      outcome.completion = start + static_cast<SimTime>(service);
+      outcome.latency_s =
+          static_cast<Seconds>(start - request.arrival) + service;
+      outcome.served_by = n;
+      stats_.busy_disk_seconds += service;
+      latency_.add(outcome.latency_s);
+      return outcome;
+    }
+  }
+
+  const auto [n, d] = *target;
+  StorageNode& node = cluster_.node(n);
+  auto& clock = disk_clocks_[n][d];
+  const SimTime begin = std::max(start, clock.busy_until);
+  const Seconds service = node.disks()[d].service_time_s(request.size_bytes);
+  clock.busy_until = begin + static_cast<SimTime>(service + 0.5);
+  stats_.busy_disk_seconds += service;
+
+  outcome.completion = begin + static_cast<SimTime>(service);
+  outcome.latency_s =
+      static_cast<Seconds>(begin - request.arrival) + service;
+  outcome.served_by = n;
+  latency_.add(outcome.latency_s);
+  return outcome;
+}
+
+std::vector<BackgroundTask> RequestRouter::drain_offload_tasks() {
+  std::vector<BackgroundTask> out;
+  out.swap(pending_offload_tasks_);
+  return out;
+}
+
+}  // namespace gm::storage

@@ -1,0 +1,96 @@
+#pragma once
+// Event-level I/O request routing. A request targets an object; the
+// router finds an active replica node, picks the least-loaded spinning
+// disk there, and models FIFO queueing + seek/transfer service time.
+//
+// When no replica is active (a transient the power manager normally
+// prevents, but which failure injection and aggressive policies can
+// produce), the router either waits for a pending activation or asks
+// the engine — through the NodeWaker callback — to force one,
+// accounting the extra latency and the forced wake-up.
+//
+// Writes additionally support *write offloading*: when the home
+// replicas are asleep, the write is durably logged on any active node
+// and a reconciliation task is emitted for later replay, trading
+// deferred background work for foreground latency.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "storage/cluster.hpp"
+#include "storage/types.hpp"
+
+namespace gm::storage {
+
+/// Engine hook: ensure some replica of `group` is coming up; returns
+/// the time at which one will be available.
+using NodeWaker = std::function<SimTime(GroupId group, SimTime now)>;
+
+struct RouterConfig {
+  bool allow_write_offload = true;
+  /// Work replaying one offloaded write later (node-seconds).
+  Seconds offload_replay_work_s = 0.05;
+  /// Latency histogram range (seconds). Bin width is 1 ms; requests
+  /// slower than the max (forced wake-ups) land in the overflow bin
+  /// and report the bound.
+  double latency_hist_max_s = 30.0;
+};
+
+struct RequestOutcome {
+  SimTime completion = 0;
+  Seconds latency_s = 0.0;
+  NodeId served_by = kInvalidNode;
+  bool offloaded = false;
+  bool forced_wakeup = false;
+};
+
+struct RouterStats {
+  std::uint64_t requests = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t offloaded_writes = 0;
+  std::uint64_t forced_wakeups = 0;
+  Seconds busy_disk_seconds = 0.0;  ///< total service time delivered
+};
+
+class RequestRouter {
+ public:
+  RequestRouter(Cluster& cluster, const RouterConfig& config);
+
+  /// Routes one request at time `now` (= request.arrival unless the
+  /// caller delayed it). `waker` may be null: then requests with no
+  /// active replica fail over to offload (writes) or wait forever is
+  /// not modeled — reads are counted as unavailable.
+  std::optional<RequestOutcome> route(const IoRequest& request, SimTime now,
+                                      const NodeWaker& waker);
+
+  const RouterStats& stats() const { return stats_; }
+  const sim::Histogram& latency_histogram() const { return latency_; }
+  std::uint64_t unavailable_reads() const { return unavailable_reads_; }
+
+  /// Offload reconciliation work emitted so far (drained by the
+  /// engine into background tasks).
+  std::vector<BackgroundTask> drain_offload_tasks();
+
+ private:
+  struct DiskClock {
+    SimTime busy_until = 0;
+  };
+
+  /// Least-loaded spinning disk on an available node; nullopt if none.
+  std::optional<std::pair<NodeId, DiskId>> pick_disk(GroupId group) const;
+
+  Cluster& cluster_;
+  RouterConfig config_;
+  RouterStats stats_;
+  sim::Histogram latency_;
+  std::vector<std::vector<DiskClock>> disk_clocks_;  // [node][disk]
+  std::vector<BackgroundTask> pending_offload_tasks_;
+  std::uint64_t unavailable_reads_ = 0;
+  TaskId next_offload_task_id_ = 1'000'000'000ULL;
+};
+
+}  // namespace gm::storage

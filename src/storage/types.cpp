@@ -1,0 +1,16 @@
+#include "storage/types.hpp"
+
+namespace gm::storage {
+
+const char* task_type_name(TaskType type) {
+  switch (type) {
+    case TaskType::kScrub: return "scrub";
+    case TaskType::kRepair: return "repair";
+    case TaskType::kRebalance: return "rebalance";
+    case TaskType::kBackup: return "backup";
+    case TaskType::kCompaction: return "compaction";
+  }
+  return "?";
+}
+
+}  // namespace gm::storage

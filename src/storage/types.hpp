@@ -1,0 +1,64 @@
+#pragma once
+// Identifier types and request/task records shared across the storage
+// and scheduling layers.
+
+#include <cstdint>
+#include <string>
+
+#include "util/time_types.hpp"
+#include "util/units.hpp"
+
+namespace gm::storage {
+
+using NodeId = std::uint32_t;
+using DiskId = std::uint32_t;   ///< disk index within its node
+using RackId = std::uint32_t;
+using ObjectId = std::uint64_t;
+using GroupId = std::uint32_t;  ///< placement group
+using RequestId = std::uint64_t;
+using TaskId = std::uint64_t;
+
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+
+/// Foreground I/O request (latency-sensitive; never deferred).
+struct IoRequest {
+  RequestId id = 0;
+  SimTime arrival = 0;
+  ObjectId object = 0;
+  std::uint64_t size_bytes = 0;
+  bool is_write = false;
+};
+
+/// Deferrable background maintenance work. A task occupies one task
+/// slot on one active node while running; it is interruptible at slot
+/// boundaries and must accumulate `work_s` seconds of execution before
+/// its deadline.
+enum class TaskType : std::uint8_t {
+  kScrub = 0,
+  kRepair,
+  kRebalance,
+  kBackup,
+  kCompaction,
+};
+
+const char* task_type_name(TaskType type);
+
+struct BackgroundTask {
+  TaskId id = 0;
+  TaskType type = TaskType::kScrub;
+  SimTime release = 0;    ///< earliest start
+  SimTime deadline = 0;   ///< absolute completion deadline
+  Seconds work_s = 0.0;   ///< required execution time (one node)
+  /// Extra CPU+disk utilization the task adds to its node while
+  /// running, in node-utilization units (0..1].
+  double utilization = 0.25;
+  /// Placement group whose data the task touches (locality: the task
+  /// must run on a node holding a replica of this group).
+  GroupId group = 0;
+
+  Seconds slack(SimTime now, Seconds remaining_work) const {
+    return static_cast<Seconds>(deadline - now) - remaining_work;
+  }
+};
+
+}  // namespace gm::storage

@@ -1,0 +1,69 @@
+#pragma once
+// Assertion and error-reporting machinery.
+//
+// GM_ASSERT   — internal invariant; aborts in all build types. Use for
+//               conditions that indicate a bug in this library.
+// GM_CHECK    — recoverable precondition on user input; throws
+//               gm::InvalidArgument with a formatted message.
+// GM_UNREACHABLE — marks code paths that must never execute.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gm {
+
+/// Thrown when a caller violates a documented precondition
+/// (bad configuration value, malformed trace file, ...).
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when a runtime operation cannot proceed (missing file,
+/// malformed input encountered mid-stream, ...).
+class RuntimeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "GM_ASSERT failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace gm
+
+#define GM_ASSERT(expr)                                              \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::gm::detail::assert_fail(#expr, __FILE__, __LINE__, "");      \
+  } while (0)
+
+#define GM_ASSERT_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream gm_assert_os_;                              \
+      gm_assert_os_ << msg;                                          \
+      ::gm::detail::assert_fail(#expr, __FILE__, __LINE__,           \
+                                gm_assert_os_.str());                \
+    }                                                                \
+  } while (0)
+
+#define GM_CHECK(expr, msg)                                          \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream gm_check_os_;                               \
+      gm_check_os_ << "precondition violated: " << msg << " ("       \
+                   << #expr << ")";                                  \
+      throw ::gm::InvalidArgument(gm_check_os_.str());               \
+    }                                                                \
+  } while (0)
+
+#define GM_UNREACHABLE(msg)                                          \
+  ::gm::detail::assert_fail("unreachable", __FILE__, __LINE__, msg)

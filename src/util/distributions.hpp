@@ -1,0 +1,55 @@
+#pragma once
+// Sampling helpers for the distributions the workload and energy models
+// need: exponential, normal, lognormal, Weibull, Poisson, Zipf, and a
+// non-homogeneous Poisson process sampler (thinning).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace gm {
+
+/// Exponential with rate `lambda` (mean 1/lambda).
+double sample_exponential(Rng& rng, double lambda);
+
+/// Standard normal via polar Box–Muller (no cached second value, so
+/// sampling stays stateless with respect to the caller).
+double sample_normal(Rng& rng, double mean = 0.0, double stddev = 1.0);
+
+/// Lognormal parameterized by the *underlying* normal's mu/sigma.
+double sample_lognormal(Rng& rng, double mu, double sigma);
+
+/// Weibull with shape k and scale lambda.
+double sample_weibull(Rng& rng, double shape_k, double scale_lambda);
+
+/// Poisson count with the given mean (inversion for small means,
+/// PTRS-style transformed rejection for large).
+std::int64_t sample_poisson(Rng& rng, double mean);
+
+/// Zipf(s) sampler over ranks {0, ..., n-1}: P(k) ∝ 1/(k+1)^s.
+/// Precomputes the CDF once; sampling is O(log n).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent_s);
+
+  std::size_t operator()(Rng& rng) const;
+  std::size_t size() const { return cdf_.size(); }
+  double exponent() const { return s_; }
+  /// Probability mass of rank k.
+  double pmf(std::size_t k) const;
+
+ private:
+  std::vector<double> cdf_;
+  double s_;
+};
+
+/// Draws arrival times of a non-homogeneous Poisson process on
+/// [t0, t1) with instantaneous rate `rate(t)` (events per second),
+/// bounded above by `rate_max`, using Lewis–Shedler thinning.
+std::vector<double> sample_nhpp(Rng& rng, double t0, double t1,
+                                double rate_max,
+                                const std::function<double(double)>& rate);
+
+}  // namespace gm

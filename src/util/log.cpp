@@ -1,0 +1,29 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+namespace gm {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  std::ostream& out = sink_ ? *sink_ : std::cerr;
+  out << '[' << log_level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace gm

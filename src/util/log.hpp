@@ -1,0 +1,65 @@
+#pragma once
+// Lightweight leveled logger. Simulation code logs through this rather
+// than writing to std::cerr directly so tests can silence or capture
+// output and bench binaries stay clean.
+
+#include <sstream>
+#include <string>
+
+namespace gm {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+const char* log_level_name(LogLevel level);
+
+/// Global logger configuration (process-wide; simulation is
+/// single-threaded per run, sweeps log only at Warn+).
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Redirect output (nullptr restores stderr).
+  void set_sink(std::ostream* sink) { sink_ = sink; }
+
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::ostream* sink_ = nullptr;
+};
+
+/// RAII: sets log level for a scope (used by tests).
+class ScopedLogLevel {
+ public:
+  explicit ScopedLogLevel(LogLevel level)
+      : prev_(Logger::instance().level()) {
+    Logger::instance().set_level(level);
+  }
+  ~ScopedLogLevel() { Logger::instance().set_level(prev_); }
+  ScopedLogLevel(const ScopedLogLevel&) = delete;
+  ScopedLogLevel& operator=(const ScopedLogLevel&) = delete;
+
+ private:
+  LogLevel prev_;
+};
+
+}  // namespace gm
+
+#define GM_LOG(level, expr)                                         \
+  do {                                                              \
+    if (::gm::Logger::instance().enabled(level)) {                  \
+      std::ostringstream gm_log_os_;                                \
+      gm_log_os_ << expr;                                           \
+      ::gm::Logger::instance().write(level, gm_log_os_.str());      \
+    }                                                               \
+  } while (0)
+
+#define GM_LOG_DEBUG(expr) GM_LOG(::gm::LogLevel::kDebug, expr)
+#define GM_LOG_INFO(expr) GM_LOG(::gm::LogLevel::kInfo, expr)
+#define GM_LOG_WARN(expr) GM_LOG(::gm::LogLevel::kWarn, expr)
+#define GM_LOG_ERROR(expr) GM_LOG(::gm::LogLevel::kError, expr)

@@ -1,0 +1,57 @@
+#include "util/math_utils.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace gm {
+
+bool approx_equal(double a, double b, double rel_tol) {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= rel_tol * scale;
+}
+
+double percentile(std::vector<double> values, double p) {
+  GM_CHECK(!values.empty(), "percentile of empty sample");
+  GM_CHECK(p >= 0.0 && p <= 100.0, "percentile p out of range: " << p);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  const double idx = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  return lerp(values[lo], values[hi], idx - static_cast<double>(lo));
+}
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+PiecewiseLinear::PiecewiseLinear(std::vector<double> xs,
+                                 std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+  GM_CHECK(xs_.size() == ys_.size(), "piecewise sizes differ");
+  GM_CHECK(!xs_.empty(), "piecewise needs at least one point");
+  for (std::size_t i = 1; i < xs_.size(); ++i)
+    GM_CHECK(xs_[i] > xs_[i - 1], "piecewise xs must be strictly increasing");
+}
+
+double PiecewiseLinear::operator()(double x) const {
+  GM_ASSERT(!xs_.empty());
+  if (x <= xs_.front()) return ys_.front();
+  if (x >= xs_.back()) return ys_.back();
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  const auto i = static_cast<std::size_t>(it - xs_.begin());
+  const double t = (x - xs_[i - 1]) / (xs_[i] - xs_[i - 1]);
+  return lerp(ys_[i - 1], ys_[i], t);
+}
+
+double PiecewiseLinear::max_value() const {
+  GM_ASSERT(!ys_.empty());
+  return *std::max_element(ys_.begin(), ys_.end());
+}
+
+}  // namespace gm

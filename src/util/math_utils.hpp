@@ -1,0 +1,51 @@
+#pragma once
+// Small numeric helpers shared across modules.
+
+#include <cstddef>
+#include <vector>
+
+namespace gm {
+
+/// Linear interpolation between a and b at parameter t in [0, 1].
+constexpr double lerp(double a, double b, double t) {
+  return a + (b - a) * t;
+}
+
+/// Clamp v into [lo, hi].
+constexpr double clamp(double v, double lo, double hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/// True if |a - b| <= tol * max(1, |a|, |b|).
+bool approx_equal(double a, double b, double rel_tol = 1e-9);
+
+/// Exact percentile (linear interpolation between order statistics) of
+/// an unsorted sample; p in [0, 100]. Copies and sorts; for hot paths
+/// use sim::Histogram quantiles instead.
+double percentile(std::vector<double> values, double p);
+
+/// Arithmetic mean; 0 for empty input.
+double mean(const std::vector<double>& values);
+
+/// Piecewise-linear function over sorted breakpoints, with constant
+/// extrapolation outside the domain. Used by turbine power curves and
+/// diurnal rate profiles.
+class PiecewiseLinear {
+ public:
+  PiecewiseLinear() = default;
+  /// xs must be strictly increasing and the same length as ys.
+  PiecewiseLinear(std::vector<double> xs, std::vector<double> ys);
+
+  double operator()(double x) const;
+  bool empty() const { return xs_.empty(); }
+  std::size_t size() const { return xs_.size(); }
+
+  /// Maximum of the stored y values (rate bound for NHPP thinning).
+  double max_value() const;
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+}  // namespace gm

@@ -1,0 +1,30 @@
+#include "util/rng.hpp"
+
+#include "util/assert.hpp"
+
+namespace gm {
+
+std::uint64_t Rng::uniform_u64(std::uint64_t n) {
+  GM_ASSERT_MSG(n > 0, "uniform_u64 requires n > 0");
+  // Lemire's nearly-divisionless bounded sampling.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    const std::uint64_t t = (0 - n) % n;
+    while (l < t) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * n;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  GM_ASSERT_MSG(lo <= hi, "uniform_int requires lo <= hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform_u64(span));
+}
+
+}  // namespace gm

@@ -1,0 +1,37 @@
+#pragma once
+// Aligned ASCII table rendering for bench/example output. Every bench
+// binary prints its figure/table data through this so the rows a paper
+// exhibit needs are directly readable (and grep-able) from stdout.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gm {
+
+class TextTable {
+ public:
+  /// Column headers define the column count; all rows must match it.
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  static std::string num(double v, int precision = 2);
+  static std::string integer(std::int64_t v);
+  static std::string percent(double fraction, int precision = 1);
+
+  /// Renders with a header rule, space-padded columns.
+  void print(std::ostream& out) const;
+
+  /// Renders as a markdown table (for EXPERIMENTS.md snippets).
+  void print_markdown(std::ostream& out) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gm

@@ -1,0 +1,57 @@
+#pragma once
+// Fixed-size thread pool with a parallel_for helper. Parameter sweeps
+// in the bench harness run one independent simulation per index, so a
+// simple static block partition is the right decomposition (runs have
+// similar cost); work stealing would be overkill.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gm {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueue a task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have completed.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs body(i) for i in [0, n) across the pool's threads in chunks.
+/// Exceptions from the body propagate (first one wins) after all
+/// chunks finish.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+/// Single-shot convenience: creates a transient pool sized to the
+/// machine and runs the loop. Used by bench sweeps.
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace gm

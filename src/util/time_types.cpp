@@ -1,0 +1,40 @@
+#include "util/time_types.hpp"
+
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace gm {
+
+CalendarTime calendar_of(SimTime t, int start_day_of_year) {
+  GM_CHECK(t >= 0, "calendar_of requires non-negative time, got " << t);
+  GM_CHECK(start_day_of_year >= 1 && start_day_of_year <= 365,
+           "start_day_of_year out of range: " << start_day_of_year);
+  CalendarTime c{};
+  c.day = static_cast<int>(t / 86400);
+  c.day_of_year = (start_day_of_year - 1 + c.day) % 365 + 1;
+  c.day_of_week = c.day % 7;
+  c.hour = static_cast<double>(t % 86400) / 3600.0;
+  return c;
+}
+
+std::string format_sim_time(SimTime t) {
+  const std::int64_t day = t / 86400;
+  const std::int64_t rem = t % 86400;
+  const int h = static_cast<int>(rem / 3600);
+  const int m = static_cast<int>((rem % 3600) / 60);
+  const int s = static_cast<int>(rem % 60);
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "d%lld %02d:%02d:%02d",
+                static_cast<long long>(day), h, m, s);
+  return buf;
+}
+
+std::string format_hour_of_week(SimTime t) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "h%.1f",
+                static_cast<double>(t) / 3600.0);
+  return buf;
+}
+
+}  // namespace gm

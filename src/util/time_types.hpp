@@ -1,0 +1,60 @@
+#pragma once
+// Simulation time: integer seconds since the start of the simulated
+// epoch. Slot arithmetic and calendar decomposition (hour-of-day,
+// day-of-week) used by diurnal workload and solar models.
+
+#include <cstdint>
+#include <string>
+
+namespace gm {
+
+/// Simulation timestamp in whole seconds since simulation start.
+using SimTime = std::int64_t;
+
+/// Index of a scheduling slot (slot = fixed number of seconds).
+using SlotIndex = std::int64_t;
+
+inline constexpr SimTime kSimTimeMax = INT64_MAX / 4;
+
+/// Fixed-width scheduling slot grid over simulation time.
+class SlotGrid {
+ public:
+  explicit SlotGrid(SimTime slot_length_s = 3600) noexcept
+      : slot_length_s_(slot_length_s) {}
+
+  SimTime slot_length() const noexcept { return slot_length_s_; }
+  SlotIndex slot_of(SimTime t) const noexcept { return t / slot_length_s_; }
+  SimTime start_of(SlotIndex s) const noexcept { return s * slot_length_s_; }
+  SimTime end_of(SlotIndex s) const noexcept {
+    return (s + 1) * slot_length_s_;
+  }
+  /// First slot boundary at or after `t`.
+  SimTime next_boundary(SimTime t) const noexcept {
+    const SlotIndex s = slot_of(t);
+    const SimTime b = start_of(s);
+    return b == t ? t : start_of(s + 1);
+  }
+
+ private:
+  SimTime slot_length_s_;
+};
+
+/// Calendar decomposition of a simulation timestamp. The simulated
+/// epoch starts at midnight on `start_day_of_year` (1-based) of a
+/// non-leap year; day zero is a Monday by convention.
+struct CalendarTime {
+  int day;          ///< whole days since simulation start
+  int day_of_year;  ///< 1..365, wraps
+  int day_of_week;  ///< 0 = Monday .. 6 = Sunday
+  double hour;      ///< fractional hour of day, [0, 24)
+};
+
+CalendarTime calendar_of(SimTime t, int start_day_of_year = 172);
+
+/// "d3 14:05:09"-style rendering for logs and tables.
+std::string format_sim_time(SimTime t);
+
+/// "h14.5"-style compact hour label.
+std::string format_hour_of_week(SimTime t);
+
+}  // namespace gm

@@ -1,0 +1,42 @@
+#pragma once
+// Physical unit conventions used across the library.
+//
+// All internal energy quantities are joules, all power quantities are
+// watts and all durations are seconds. Human-facing configuration and
+// report values use kWh/W/hours; these helpers convert at the border.
+// Using plain doubles with named converters (instead of a wrapper type)
+// keeps hot simulation loops trivially optimizable; the naming
+// convention `*_j`, `*_w`, `*_s` marks the unit of every variable.
+
+namespace gm {
+
+using Joules = double;
+using Watts = double;
+using Seconds = double;
+
+inline constexpr double kSecondsPerHour = 3600.0;
+inline constexpr double kSecondsPerDay = 86400.0;
+inline constexpr double kHoursPerDay = 24.0;
+
+/// Joules in one watt-hour.
+inline constexpr double kJoulesPerWh = 3600.0;
+/// Joules in one kilowatt-hour.
+inline constexpr double kJoulesPerKwh = 3.6e6;
+
+constexpr Joules wh_to_j(double wh) { return wh * kJoulesPerWh; }
+constexpr Joules kwh_to_j(double kwh) { return kwh * kJoulesPerKwh; }
+constexpr double j_to_wh(Joules j) { return j / kJoulesPerWh; }
+constexpr double j_to_kwh(Joules j) { return j / kJoulesPerKwh; }
+
+constexpr Seconds hours_to_s(double h) { return h * kSecondsPerHour; }
+constexpr Seconds days_to_s(double d) { return d * kSecondsPerDay; }
+constexpr double s_to_hours(Seconds s) { return s / kSecondsPerHour; }
+constexpr double s_to_days(Seconds s) { return s / kSecondsPerDay; }
+
+/// Energy delivered by a constant power over a duration.
+constexpr Joules energy_j(Watts p, Seconds dt) { return p * dt; }
+
+/// Average power of an energy amount over a duration (dt > 0).
+constexpr Watts power_w(Joules e, Seconds dt) { return e / dt; }
+
+}  // namespace gm

@@ -1,0 +1,132 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+#include "util/time_types.hpp"
+
+namespace gm::workload {
+
+std::uint64_t Workload::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& r : requests) total += r.size_bytes;
+  return total;
+}
+
+Seconds Workload::total_task_work_s() const {
+  Seconds total = 0.0;
+  for (const auto& t : tasks) total += t.work_s;
+  return total;
+}
+
+namespace {
+
+void generate_foreground(const WorkloadSpec& spec, Rng& rng,
+                         Workload& out) {
+  const auto& fg = spec.foreground;
+  if (fg.base_rate_per_s <= 0.0) return;
+
+  const double horizon_s = days_to_s(spec.duration_days);
+  const auto rate = [&](double t) {
+    const auto cal = calendar_of(static_cast<SimTime>(t));
+    const bool weekend = cal.day_of_week >= 5;
+    return fg.base_rate_per_s * fg.diurnal(cal.hour) *
+           (weekend ? fg.weekend_factor : 1.0);
+  };
+  const double rate_max =
+      fg.base_rate_per_s * fg.diurnal.max_value() *
+      std::max(1.0, fg.weekend_factor);
+
+  Rng arrivals_rng = rng.fork(0x41);
+  const auto arrivals =
+      sample_nhpp(arrivals_rng, 0.0, horizon_s, rate_max, rate);
+
+  ZipfSampler zipf(
+      static_cast<std::size_t>(std::min<std::uint64_t>(
+          fg.object_count, 4'000'000ULL)),
+      fg.zipf_exponent);
+  Rng detail_rng = rng.fork(0x42);
+
+  out.requests.reserve(arrivals.size());
+  storage::RequestId id = 1;
+  for (double t : arrivals) {
+    storage::IoRequest req;
+    req.id = id++;
+    req.arrival = static_cast<SimTime>(t);
+    // Popularity rank → object id through a stable permutation hash so
+    // hot objects are spread over the id space.
+    const std::size_t rank = zipf(detail_rng);
+    req.object = mix_hash(spec.seed, rank) % fg.object_count;
+    const double bytes =
+        sample_lognormal(detail_rng, fg.size_log_mu, fg.size_log_sigma);
+    req.size_bytes =
+        static_cast<std::uint64_t>(std::max(512.0, std::min(bytes, 1e10)));
+    req.is_write = !detail_rng.bernoulli(fg.read_fraction);
+    out.requests.push_back(req);
+  }
+}
+
+void generate_tasks(const WorkloadSpec& spec, std::uint32_t group_count,
+                    Rng& rng, Workload& out) {
+  Rng task_rng = rng.fork(0x43);
+  storage::TaskId id = 1;
+  for (const auto& cls : spec.task_classes) {
+    for (int day = 0; day < spec.duration_days; ++day) {
+      const std::int64_t count = sample_poisson(task_rng, cls.mean_per_day);
+      for (std::int64_t i = 0; i < count; ++i) {
+        storage::BackgroundTask task;
+        task.id = id++;
+        task.type = cls.type;
+        const double release_h =
+            cls.windowed
+                ? task_rng.uniform(cls.window_start_h, cls.window_end_h)
+                : task_rng.uniform(0.0, 24.0);
+        task.release = static_cast<SimTime>(days_to_s(day) +
+                                            hours_to_s(release_h));
+        const double log_mu =
+            std::log(cls.mean_work_s) - 0.5 * cls.work_sigma * cls.work_sigma;
+        task.work_s = std::max(
+            60.0, sample_lognormal(task_rng, log_mu, cls.work_sigma));
+        task.deadline = task.release +
+                        static_cast<SimTime>(task.work_s +
+                                             cls.deadline_slack_s);
+        task.utilization = cls.utilization;
+        task.group = static_cast<storage::GroupId>(
+            task_rng.uniform_u64(group_count));
+        out.tasks.push_back(task);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Workload generate_workload(const WorkloadSpec& spec,
+                           std::uint32_t group_count) {
+  spec.validate();
+  GM_CHECK(group_count > 0, "workload needs a non-empty group universe");
+
+  Workload out;
+  out.duration = static_cast<SimTime>(days_to_s(spec.duration_days));
+
+  Rng rng(spec.seed);
+  generate_foreground(spec, rng, out);
+  generate_tasks(spec, group_count, rng, out);
+
+  std::sort(out.requests.begin(), out.requests.end(),
+            [](const auto& a, const auto& b) {
+              if (a.arrival != b.arrival) return a.arrival < b.arrival;
+              return a.id < b.id;
+            });
+  std::sort(out.tasks.begin(), out.tasks.end(),
+            [](const auto& a, const auto& b) {
+              if (a.release != b.release) return a.release < b.release;
+              return a.id < b.id;
+            });
+  return out;
+}
+
+}  // namespace gm::workload

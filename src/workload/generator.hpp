@@ -1,0 +1,31 @@
+#pragma once
+// Synthetic workload generation from a WorkloadSpec. Deterministic per
+// seed. Foreground requests follow a non-homogeneous Poisson process
+// shaped by the diurnal/weekend profile; background tasks arrive per
+// class with Poisson daily counts, lognormal work and configurable
+// release windows.
+
+#include <vector>
+
+#include "storage/types.hpp"
+#include "workload/spec.hpp"
+
+namespace gm::workload {
+
+struct Workload {
+  std::vector<storage::IoRequest> requests;   ///< sorted by arrival
+  std::vector<storage::BackgroundTask> tasks; ///< sorted by release
+  SimTime duration = 0;
+
+  /// Total foreground bytes and background work (telemetry).
+  std::uint64_t total_bytes() const;
+  Seconds total_task_work_s() const;
+};
+
+/// Generates the full workload for `spec`. GroupIds are drawn uniformly
+/// over [0, group_count) — the generator doesn't need the placement
+/// map itself, only its group universe.
+Workload generate_workload(const WorkloadSpec& spec,
+                           std::uint32_t group_count);
+
+}  // namespace gm::workload

@@ -1,0 +1,179 @@
+// Tests for the key=value config format and its mapping onto
+// ExperimentConfig.
+
+#include <gtest/gtest.h>
+
+#include "core/config_io.hpp"
+#include "util/assert.hpp"
+#include "util/config_kv.hpp"
+
+namespace gm {
+namespace {
+
+TEST(KeyValueConfig, ParsesBasicFile) {
+  const auto kv = KeyValueConfig::parse(
+      "# comment\n"
+      "a.b = 3\n"
+      "   c   =   hello world  # trailing comment\n"
+      "\n"
+      "flag = true\n"
+      "rate = 2.5\n");
+  EXPECT_EQ(kv.size(), 4u);
+  EXPECT_EQ(kv.get_int("a.b"), 3);
+  EXPECT_EQ(kv.get_string("c"), "hello world");
+  EXPECT_EQ(kv.get_bool("flag"), true);
+  EXPECT_DOUBLE_EQ(*kv.get_double("rate"), 2.5);
+  EXPECT_TRUE(kv.unconsumed_keys().empty());
+}
+
+TEST(KeyValueConfig, MissingKeysReturnNullopt) {
+  const auto kv = KeyValueConfig::parse("x = 1\n");
+  EXPECT_FALSE(kv.get_string("y").has_value());
+  EXPECT_EQ(kv.get_int_or("y", 7), 7);
+  EXPECT_EQ(kv.get_string_or("y", "d"), "d");
+  EXPECT_DOUBLE_EQ(kv.get_double_or("y", 1.5), 1.5);
+  EXPECT_TRUE(kv.get_bool_or("y", true));
+}
+
+TEST(KeyValueConfig, RejectsMalformed) {
+  EXPECT_THROW(KeyValueConfig::parse("no equals sign\n"),
+               InvalidArgument);
+  EXPECT_THROW(KeyValueConfig::parse("= value\n"), InvalidArgument);
+  EXPECT_THROW(KeyValueConfig::parse("a=1\na=2\n"), InvalidArgument);
+}
+
+TEST(KeyValueConfig, TypedGettersRejectGarbage) {
+  const auto kv = KeyValueConfig::parse("n = abc\nb = maybe\n");
+  EXPECT_THROW(kv.get_int("n"), InvalidArgument);
+  EXPECT_THROW(kv.get_double("n"), InvalidArgument);
+  EXPECT_THROW(kv.get_bool("b"), InvalidArgument);
+}
+
+TEST(KeyValueConfig, BoolSpellings) {
+  const auto kv = KeyValueConfig::parse(
+      "a=true\nb=FALSE\nc=1\nd=0\ne=Yes\nf=off\n");
+  EXPECT_TRUE(*kv.get_bool("a"));
+  EXPECT_FALSE(*kv.get_bool("b"));
+  EXPECT_TRUE(*kv.get_bool("c"));
+  EXPECT_FALSE(*kv.get_bool("d"));
+  EXPECT_TRUE(*kv.get_bool("e"));
+  EXPECT_FALSE(*kv.get_bool("f"));
+}
+
+TEST(KeyValueConfig, TracksUnconsumed) {
+  const auto kv = KeyValueConfig::parse("used = 1\nunused = 2\n");
+  kv.get_int("used");
+  const auto leftover = kv.unconsumed_keys();
+  ASSERT_EQ(leftover.size(), 1u);
+  EXPECT_EQ(leftover[0], "unused");
+}
+
+TEST(KeyValueConfig, SetOverrides) {
+  KeyValueConfig kv;
+  kv.set("k", "5");
+  EXPECT_EQ(kv.get_int("k"), 5);
+  kv.set("k", "9");
+  EXPECT_EQ(kv.get_int("k"), 9);
+}
+
+TEST(KeyValueConfig, MissingFileThrows) {
+  EXPECT_THROW(KeyValueConfig::load_file("/no/such/file.conf"),
+               RuntimeError);
+}
+
+// ------------------------------------------------------- config_io
+
+TEST(ConfigIo, AppliesAllSections) {
+  auto config = core::ExperimentConfig::canonical();
+  const auto kv = KeyValueConfig::parse(
+      "cluster.racks = 2\n"
+      "cluster.nodes_per_rack = 8\n"
+      "cluster.replication = 2\n"
+      "workload.preset = read-heavy\n"
+      "workload.days = 3\n"
+      "workload.seed = 77\n"
+      "solar.panel_area_m2 = 80\n"
+      "battery.technology = la\n"
+      "battery.kwh = 25\n"
+      "battery.initial_soc = 0.5\n"
+      "policy.kind = opportunistic\n"
+      "policy.deferral = 0.4\n"
+      "sim.fidelity = event\n"
+      "sim.dwell_slots = 3\n");
+  core::apply_config(config, kv);
+
+  EXPECT_EQ(config.cluster.racks, 2);
+  EXPECT_EQ(config.cluster.nodes_per_rack, 8);
+  EXPECT_EQ(config.cluster.placement.replication, 2);
+  EXPECT_EQ(config.workload.duration_days, 3);
+  EXPECT_EQ(config.workload.seed, 77u);
+  EXPECT_DOUBLE_EQ(config.workload.foreground.read_fraction, 0.92);
+  EXPECT_DOUBLE_EQ(config.panel_area_m2, 80.0);
+  EXPECT_EQ(config.battery.technology,
+            energy::BatteryTechnology::kLeadAcid);
+  EXPECT_DOUBLE_EQ(j_to_kwh(config.battery.capacity_j), 25.0);
+  EXPECT_DOUBLE_EQ(config.battery.initial_soc_fraction, 0.5);
+  EXPECT_EQ(config.policy.kind, core::PolicyKind::kOpportunistic);
+  EXPECT_DOUBLE_EQ(config.policy.deferral_fraction, 0.4);
+  EXPECT_EQ(config.fidelity, core::Fidelity::kEventLevel);
+  EXPECT_EQ(config.min_dwell_slots, 3);
+}
+
+TEST(ConfigIo, RejectsUnknownKeys) {
+  auto config = core::ExperimentConfig::canonical();
+  const auto kv = KeyValueConfig::parse("polcy.kind = asap\n");  // typo
+  EXPECT_THROW(core::apply_config(config, kv), InvalidArgument);
+}
+
+TEST(ConfigIo, RejectsBadEnumValues) {
+  auto config = core::ExperimentConfig::canonical();
+  EXPECT_THROW(core::apply_config(
+                   config, KeyValueConfig::parse("policy.kind = x\n")),
+               InvalidArgument);
+  config = core::ExperimentConfig::canonical();
+  EXPECT_THROW(
+      core::apply_config(
+          config, KeyValueConfig::parse("sim.fidelity = medium\n")),
+      InvalidArgument);
+  config = core::ExperimentConfig::canonical();
+  EXPECT_THROW(
+      core::apply_config(
+          config, KeyValueConfig::parse("battery.technology = nimh\n")),
+      InvalidArgument);
+  config = core::ExperimentConfig::canonical();
+  EXPECT_THROW(
+      core::apply_config(
+          config, KeyValueConfig::parse("workload.preset = huge\n")),
+      InvalidArgument);
+}
+
+TEST(ConfigIo, PolicyKindNames) {
+  EXPECT_EQ(core::parse_policy_kind("asap"), core::PolicyKind::kAsap);
+  EXPECT_EQ(core::parse_policy_kind("esd-only"),
+            core::PolicyKind::kAsap);
+  EXPECT_EQ(core::parse_policy_kind("greenmatch"),
+            core::PolicyKind::kGreenMatch);
+  EXPECT_EQ(core::parse_policy_kind("greenmatch-greedy"),
+            core::PolicyKind::kGreenMatchGreedy);
+  EXPECT_EQ(core::parse_policy_kind("night-shift"),
+            core::PolicyKind::kNightShift);
+  EXPECT_THROW(core::parse_policy_kind("magic"), InvalidArgument);
+}
+
+TEST(ConfigIo, ValidatesResultingConfig) {
+  auto config = core::ExperimentConfig::canonical();
+  // 30-day run exceeds the default 14-day solar horizon.
+  const auto kv = KeyValueConfig::parse("workload.days = 30\n");
+  EXPECT_THROW(core::apply_config(config, kv), InvalidArgument);
+}
+
+TEST(ConfigIo, HelpMentionsEveryKeyFamily) {
+  const std::string help = core::config_keys_help();
+  for (const char* family :
+       {"cluster.", "workload.", "solar.", "wind.", "battery.",
+        "policy.", "sim.", "forecast.", "grid."})
+    EXPECT_NE(help.find(family), std::string::npos) << family;
+}
+
+}  // namespace
+}  // namespace gm

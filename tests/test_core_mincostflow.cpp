@@ -1,0 +1,179 @@
+// Min-cost max-flow solver tests: hand-checked instances, property
+// checks (flow conservation, capacity limits) and optimality against
+// brute force on random small bipartite assignment instances.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "core/mincost_flow.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace gm::core {
+namespace {
+
+TEST(MinCostFlow, SingleEdge) {
+  MinCostFlow f(2);
+  const int e = f.add_edge(0, 1, 5, 3);
+  const auto r = f.solve(0, 1);
+  EXPECT_EQ(r.flow, 5);
+  EXPECT_EQ(r.cost, 15);
+  EXPECT_EQ(f.flow_on(e), 5);
+}
+
+TEST(MinCostFlow, PrefersCheaperPath) {
+  // Two parallel 2-hop paths, cheap one has capacity 1.
+  MinCostFlow f(4);
+  const int cheap_a = f.add_edge(0, 1, 1, 0);
+  const int cheap_b = f.add_edge(1, 3, 1, 0);
+  const int dear_a = f.add_edge(0, 2, 10, 5);
+  const int dear_b = f.add_edge(2, 3, 10, 5);
+  const auto r = f.solve(0, 3, 3);
+  EXPECT_EQ(r.flow, 3);
+  EXPECT_EQ(r.cost, 0 + 2 * 10);
+  EXPECT_EQ(f.flow_on(cheap_a), 1);
+  EXPECT_EQ(f.flow_on(cheap_b), 1);
+  EXPECT_EQ(f.flow_on(dear_a), 2);
+  EXPECT_EQ(f.flow_on(dear_b), 2);
+}
+
+TEST(MinCostFlow, RespectsMaxFlowBound) {
+  MinCostFlow f(2);
+  f.add_edge(0, 1, 100, 1);
+  const auto r = f.solve(0, 1, 7);
+  EXPECT_EQ(r.flow, 7);
+  EXPECT_EQ(r.cost, 7);
+}
+
+TEST(MinCostFlow, DisconnectedYieldsZero) {
+  MinCostFlow f(3);
+  f.add_edge(0, 1, 10, 1);
+  const auto r = f.solve(0, 2);
+  EXPECT_EQ(r.flow, 0);
+  EXPECT_EQ(r.cost, 0);
+}
+
+TEST(MinCostFlow, ClassicAugmentingRequiresReroute) {
+  // The textbook case where a later augmentation must push flow back
+  // over an earlier choice via the residual edge.
+  MinCostFlow f(4);
+  f.add_edge(0, 1, 1, 1);
+  f.add_edge(0, 2, 1, 4);
+  f.add_edge(1, 2, 1, 1);
+  f.add_edge(1, 3, 1, 5);
+  f.add_edge(2, 3, 1, 1);
+  const auto r = f.solve(0, 3);
+  EXPECT_EQ(r.flow, 2);
+  // Optimal: 0→1→2→3 (cost 3) + 0→2? cap used... optimum is 9:
+  // path A 0→1→3 (6) and path B 0→2→3 (5) = 11 vs
+  // 0→1→2→3 (3) + 0→2→3 blocked (cap 2→3 =1) → must use 0→1→3:
+  // flows: 0→1→2→3 and 0→1 can't (cap 1). Enumerate: the two units
+  // must leave via 0→1 and 0→2 and arrive via 1→3 and 2→3:
+  //   unit1: 0→1→3 = 6, unit2: 0→2→3 = 5  → 11
+  //   unit1: 0→1→2→3 = 3, unit2: 0→2→?   2→3 taken → infeasible
+  // so optimum = 11.
+  EXPECT_EQ(r.cost, 11);
+}
+
+TEST(MinCostFlow, FlowConservationAtInternalNodes) {
+  MinCostFlow f(6);
+  std::vector<int> edges;
+  Rng rng(5);
+  // Random graph source=0 sink=5.
+  struct E { int a, b; long long cap; };
+  std::vector<E> topo;
+  for (int a = 0; a < 5; ++a)
+    for (int b = 1; b < 6; ++b)
+      if (a != b) {
+        const long long cap = static_cast<long long>(rng.uniform_u64(4));
+        topo.push_back({a, b, cap});
+        edges.push_back(f.add_edge(a, b, cap,
+                                   static_cast<long long>(
+                                       rng.uniform_u64(10))));
+      }
+  f.solve(0, 5);
+  std::vector<long long> net(6, 0);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const long long flow = f.flow_on(edges[i]);
+    EXPECT_GE(flow, 0);
+    EXPECT_LE(flow, topo[i].cap);
+    net[topo[i].a] -= flow;
+    net[topo[i].b] += flow;
+  }
+  for (int v = 1; v < 5; ++v) EXPECT_EQ(net[v], 0) << "node " << v;
+  EXPECT_EQ(net[0], -net[5]);
+}
+
+TEST(MinCostFlow, InputValidation) {
+  MinCostFlow f(3);
+  EXPECT_THROW(f.add_edge(-1, 0, 1, 1), InvalidArgument);
+  EXPECT_THROW(f.add_edge(0, 3, 1, 1), InvalidArgument);
+  EXPECT_THROW(f.add_edge(0, 1, -1, 1), InvalidArgument);
+  EXPECT_THROW(f.add_edge(0, 1, 1, -1), InvalidArgument);
+  EXPECT_THROW(f.solve(0, 0), InvalidArgument);
+  EXPECT_THROW(f.flow_on(99), InvalidArgument);
+  EXPECT_THROW(MinCostFlow(0), InvalidArgument);
+}
+
+// Brute-force optimal assignment: n tasks × m slots, each task uses
+// exactly one slot, slot capacities 1, minimize total cost. Compare
+// against the flow solver on random instances.
+long long brute_force_assignment(const std::vector<std::vector<long long>>&
+                                     cost) {
+  const int n = static_cast<int>(cost.size());
+  const int m = static_cast<int>(cost[0].size());
+  std::vector<int> slots(m);
+  std::iota(slots.begin(), slots.end(), 0);
+  long long best = LLONG_MAX;
+  // Permute slot choices for tasks (n <= m <= 7 keeps this tractable).
+  std::vector<int> choice(n);
+  const std::function<void(int, long long, int)> rec =
+      [&](int task, long long acc, int used_mask) {
+        if (acc >= best) return;
+        if (task == n) {
+          best = acc;
+          return;
+        }
+        for (int s = 0; s < m; ++s) {
+          if (used_mask & (1 << s)) continue;
+          rec(task + 1, acc + cost[task][s], used_mask | (1 << s));
+        }
+      };
+  rec(0, 0, 0);
+  return best;
+}
+
+class RandomAssignment : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomAssignment, MatchesBruteForce) {
+  Rng rng(GetParam());
+  const int n = 3 + static_cast<int>(rng.uniform_u64(3));  // tasks
+  const int m = n + static_cast<int>(rng.uniform_u64(2));  // slots
+  std::vector<std::vector<long long>> cost(
+      n, std::vector<long long>(m));
+  for (auto& row : cost)
+    for (auto& c : row) c = static_cast<long long>(rng.uniform_u64(50));
+
+  // Flow encoding: 0 = source, 1..n tasks, n+1..n+m slots, sink last.
+  MinCostFlow f(n + m + 2);
+  const int sink = n + m + 1;
+  for (int i = 0; i < n; ++i) f.add_edge(0, 1 + i, 1, 0);
+  for (int i = 0; i < n; ++i)
+    for (int s = 0; s < m; ++s)
+      f.add_edge(1 + i, 1 + n + s, 1, cost[i][s]);
+  for (int s = 0; s < m; ++s) f.add_edge(1 + n + s, sink, 1, 0);
+
+  const auto r = f.solve(0, sink);
+  EXPECT_EQ(r.flow, n);
+  EXPECT_EQ(r.cost, brute_force_assignment(cost));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomAssignment,
+                         ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace gm::core

@@ -1,0 +1,298 @@
+// Power manager and full-engine integration/property tests.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/engine.hpp"
+#include "core/power_manager.hpp"
+#include "util/assert.hpp"
+#include "util/units.hpp"
+
+namespace gm::core {
+namespace {
+
+storage::ClusterConfig tiny_cluster() {
+  storage::ClusterConfig c;
+  c.racks = 2;
+  c.nodes_per_rack = 8;
+  c.placement.group_count = 128;
+  c.placement.replication = 3;
+  return c;
+}
+
+// ------------------------------------------------------ PowerManager
+
+TEST(PowerManager, ReachesTargetRespectingFloor) {
+  storage::Cluster cluster(tiny_cluster());
+  PowerManager pm(cluster, 0);
+  EXPECT_EQ(pm.active_count(), 16);
+
+  const auto tr = pm.apply_target(0, 0, 0);
+  EXPECT_EQ(pm.active_count(), pm.min_feasible());
+  EXPECT_EQ(tr.powered_off,
+            16 - pm.min_feasible());
+  EXPECT_GT(tr.energy_j, 0.0);
+  EXPECT_TRUE(cluster.is_feasible(pm.active()));
+}
+
+TEST(PowerManager, PowerBackOnCountsAndCharges) {
+  storage::Cluster cluster(tiny_cluster());
+  PowerManager pm(cluster, 0);
+  pm.apply_target(0, 0, 0);
+  const auto tr = pm.apply_target(1, 16, 3600);
+  EXPECT_EQ(pm.active_count(), 16);
+  EXPECT_EQ(tr.powered_on, 16 - pm.min_feasible());
+  for (const auto& node : cluster.nodes())
+    EXPECT_TRUE(node.available());
+}
+
+TEST(PowerManager, HysteresisDelaysPowerOff) {
+  storage::Cluster cluster(tiny_cluster());
+  PowerManager pm(cluster, 3);
+  // Power some nodes on at slot 0 (all already on → mark dwell).
+  pm.apply_target(0, 16, 0);
+  // Try to power off immediately: nodes only changed state at slot
+  // -inf, so first deactivation is allowed...
+  const auto tr1 = pm.apply_target(1, 0, 3600);
+  EXPECT_GT(tr1.powered_off, 0);
+  // ...but powering back on at slot 2 then off at slot 3 is blocked.
+  pm.apply_target(2, 16, 7200);
+  const auto tr2 = pm.apply_target(3, 0, 10800);
+  EXPECT_EQ(tr2.powered_off, 0);  // dwell = 3 slots not yet elapsed
+  const auto tr3 = pm.apply_target(5, 0, 18000);
+  EXPECT_GT(tr3.powered_off, 0);  // dwell satisfied
+}
+
+TEST(PowerManager, DeactivatedListMatchesCount) {
+  storage::Cluster cluster(tiny_cluster());
+  PowerManager pm(cluster, 0);
+  const auto tr = pm.apply_target(0, 0, 0);
+  EXPECT_EQ(static_cast<int>(tr.deactivated.size()), tr.powered_off);
+}
+
+TEST(PowerManager, ForceWakeForGroupActivatesReplica) {
+  storage::Cluster cluster(tiny_cluster());
+  PowerManager pm(cluster, 0);
+  pm.apply_target(0, 0, 0);
+  // Find a group whose replicas are all inactive — there is none
+  // (coverage!), so force_wake returns immediately.
+  const SimTime t = pm.force_wake_for_group(0, 100, 0);
+  EXPECT_EQ(t, 100);
+  EXPECT_DOUBLE_EQ(pm.drain_forced_energy_j(), 0.0);
+}
+
+TEST(PowerManager, WakeSleepingReplicaChargesEnergy) {
+  storage::Cluster cluster(tiny_cluster());
+  PowerManager pm(cluster, 0);
+  pm.apply_target(0, 0, 0);
+  // Find a group with at least one sleeping replica.
+  storage::GroupId target = UINT32_MAX;
+  for (storage::GroupId g = 0; g < 128; ++g) {
+    for (storage::NodeId n : cluster.placement().replicas(g))
+      if (!pm.active()[n]) {
+        target = g;
+        break;
+      }
+    if (target != UINT32_MAX) break;
+  }
+  ASSERT_NE(target, UINT32_MAX);
+  const int before = pm.active_count();
+  const auto woken = pm.wake_sleeping_replica(target, 0, 0);
+  EXPECT_NE(woken, storage::kInvalidNode);
+  EXPECT_EQ(pm.active_count(), before + 1);
+  EXPECT_GT(pm.drain_forced_energy_j(), 0.0);
+  EXPECT_DOUBLE_EQ(pm.drain_forced_energy_j(), 0.0);  // drained
+}
+
+// ------------------------------------------------------------ Engine
+
+ExperimentConfig fast_config(PolicyKind kind, double battery_kwh = 10.0,
+                             double panel_m2 = 60.0) {
+  ExperimentConfig config;
+  config.cluster = tiny_cluster();
+  config.workload = workload::WorkloadSpec::canonical(3, 99);
+  config.workload.foreground.base_rate_per_s = 0.5;
+  for (auto& c : config.workload.task_classes) c.mean_per_day *= 0.4;
+  config.solar.horizon_days = 8;
+  config.panel_area_m2 = panel_m2;
+  config.battery = energy::BatteryConfig::lithium_ion(
+      kwh_to_j(battery_kwh));
+  config.policy.kind = kind;
+  config.policy.horizon_slots = 12;
+  config.fidelity = Fidelity::kSlotLevel;
+  return config;
+}
+
+class EngineAllPolicies : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(EngineAllPolicies, ConservationAndCompletion) {
+  const auto artifacts = run_experiment(fast_config(GetParam()));
+  const auto& r = artifacts.result;
+
+  // Every admitted task completes (generous deadlines + drain).
+  EXPECT_EQ(r.qos.tasks_completed, r.qos.tasks_total);
+  EXPECT_GT(r.qos.tasks_total, 0u);
+
+  // Ledger conservation already asserted per-slot; check the global
+  // identities once more from the totals.
+  const auto& e = r.energy;
+  EXPECT_NEAR(e.green_supply_j,
+              e.green_direct_j + e.battery_charge_drawn_j + e.curtailed_j,
+              1e-6 * std::max(1.0, e.green_supply_j));
+  EXPECT_NEAR(e.demand_j,
+              e.green_direct_j + e.battery_discharged_j + e.brown_j,
+              1e-6 * std::max(1.0, e.demand_j));
+  EXPECT_GT(e.demand_j, 0.0);
+  EXPECT_GE(r.scheduler.mean_active_nodes, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, EngineAllPolicies,
+    ::testing::Values(PolicyKind::kAsap, PolicyKind::kOpportunistic,
+                      PolicyKind::kGreenMatch,
+                      PolicyKind::kGreenMatchGreedy,
+                      PolicyKind::kNightShift),
+    [](const auto& info) {
+      return std::string(policy_kind_name(info.param)) == "night-shift"
+                 ? "nightshift"
+                 : std::string(policy_kind_name(info.param)) ==
+                           "greenmatch-greedy"
+                       ? "greenmatchgreedy"
+                       : policy_kind_name(info.param);
+    });
+
+TEST(Engine, DeterministicAcrossRuns) {
+  const auto a = run_experiment(fast_config(PolicyKind::kGreenMatch));
+  const auto b = run_experiment(fast_config(PolicyKind::kGreenMatch));
+  EXPECT_DOUBLE_EQ(a.result.energy.brown_j, b.result.energy.brown_j);
+  EXPECT_DOUBLE_EQ(a.result.energy.demand_j, b.result.energy.demand_j);
+  EXPECT_EQ(a.result.scheduler.task_migrations,
+            b.result.scheduler.task_migrations);
+  EXPECT_EQ(a.ledger.size(), b.ledger.size());
+}
+
+TEST(Engine, NoSolarMeansAllBrown) {
+  auto config = fast_config(PolicyKind::kAsap, 10.0, 0.0);
+  const auto artifacts = run_experiment(config);
+  const auto& e = artifacts.result.energy;
+  EXPECT_DOUBLE_EQ(e.green_supply_j, 0.0);
+  EXPECT_NEAR(e.brown_j, e.demand_j, 1e-6 * e.demand_j);
+  EXPECT_DOUBLE_EQ(e.curtailed_j, 0.0);
+}
+
+TEST(Engine, AbundantSolarPlusBatteryNearlyEliminatesBrown) {
+  auto config = fast_config(PolicyKind::kAsap, 400.0, 2000.0);
+  config.battery = energy::BatteryConfig::ideal(kwh_to_j(400.0));
+  const auto artifacts = run_experiment(config);
+  const auto& e = artifacts.result.energy;
+  // First night may still draw brown (battery starts empty); after
+  // that the system should be self-sufficient.
+  EXPECT_LT(e.brown_j, 0.15 * e.demand_j);
+}
+
+TEST(Engine, BiggerBatteryNeverHurtsBrown) {
+  double prev = 1e300;
+  for (double kwh : {0.0, 10.0, 40.0, 160.0}) {
+    const auto artifacts =
+        run_experiment(fast_config(PolicyKind::kAsap, kwh));
+    const double brown = artifacts.result.energy.brown_j;
+    EXPECT_LE(brown, prev * 1.0001) << "battery " << kwh << " kWh";
+    prev = brown;
+  }
+}
+
+TEST(Engine, MorePanelsNeverHurtBrown) {
+  double prev = 1e300;
+  for (double m2 : {0.0, 40.0, 120.0, 360.0}) {
+    const auto artifacts =
+        run_experiment(fast_config(PolicyKind::kAsap, 20.0, m2));
+    const double brown = artifacts.result.energy.brown_j;
+    EXPECT_LE(brown, prev * 1.0001) << "panels " << m2 << " m²";
+    prev = brown;
+  }
+}
+
+TEST(Engine, GreenMatchDoesNotLoseToAsapOnBrown) {
+  const auto gm =
+      run_experiment(fast_config(PolicyKind::kGreenMatch));
+  const auto asap = run_experiment(fast_config(PolicyKind::kAsap));
+  // The matcher may pay small transition/migration overheads but must
+  // not burn meaningfully more grid energy than the oblivious
+  // baseline on the canonical setup.
+  EXPECT_LE(gm.result.energy.brown_j,
+            asap.result.energy.brown_j * 1.05);
+}
+
+TEST(Engine, EventLevelAgreesWithSlotLevelOnEnergy) {
+  auto slot_config = fast_config(PolicyKind::kGreenMatch);
+  auto event_config = slot_config;
+  event_config.fidelity = Fidelity::kEventLevel;
+  const auto s = run_experiment(slot_config);
+  const auto e = run_experiment(event_config);
+  // Same demand model; event mode can add forced wake-ups only.
+  EXPECT_NEAR(s.result.energy.demand_j, e.result.energy.demand_j,
+              0.02 * s.result.energy.demand_j);
+  // Event mode produces QoS data.
+  EXPECT_GT(e.result.qos.foreground_requests, 0u);
+  EXPECT_GT(e.result.qos.read_latency_p95_s, 0.0);
+  EXPECT_EQ(s.result.qos.foreground_requests, 0u);
+}
+
+TEST(Engine, LedgerSlotSeriesIsContiguous) {
+  const auto artifacts =
+      run_experiment(fast_config(PolicyKind::kOpportunistic));
+  const auto& slots = artifacts.ledger.slots();
+  ASSERT_FALSE(slots.empty());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    EXPECT_EQ(slots[i].slot, static_cast<SlotIndex>(i));
+    EXPECT_EQ(slots[i].end - slots[i].start, 3600);
+    if (i > 0) EXPECT_EQ(slots[i].start, slots[i - 1].end);
+  }
+  EXPECT_EQ(artifacts.active_nodes_per_slot.size(), slots.size());
+}
+
+TEST(Engine, BatteryStateWithinBoundsEverySlot) {
+  const auto artifacts = run_experiment(
+      fast_config(PolicyKind::kGreenMatch, 25.0, 200.0));
+  const Joules usable = kwh_to_j(25.0) * 0.8;
+  for (const auto& s : artifacts.ledger.slots()) {
+    EXPECT_GE(s.battery_stored_end_j, -1e-6);
+    EXPECT_LE(s.battery_stored_end_j, usable + 1e-6);
+  }
+}
+
+TEST(Engine, NightShiftWindowShapesTaskUtil) {
+  auto config = fast_config(PolicyKind::kNightShift);
+  config.policy.window_start_h = 9.0;
+  config.policy.window_end_h = 17.0;
+  const auto artifacts = run_experiment(config);
+  double in_window = 0.0, out_window = 0.0;
+  for (std::size_t i = 0; i < artifacts.task_util_per_slot.size(); ++i) {
+    const double hour = static_cast<double>((i * 3600) % 86400) / 3600.0;
+    if (hour >= 9.0 && hour < 17.0)
+      in_window += artifacts.task_util_per_slot[i];
+    else
+      out_window += artifacts.task_util_per_slot[i];
+  }
+  EXPECT_GT(in_window, out_window);
+}
+
+TEST(Engine, WorkloadAccessorsExposeTrace) {
+  SimulationEngine engine(fast_config(PolicyKind::kAsap));
+  EXPECT_FALSE(engine.workload().tasks.empty());
+  EXPECT_EQ(engine.cluster().node_count(), 16u);
+  const auto artifacts = engine.run();
+  EXPECT_EQ(artifacts.result.qos.tasks_total,
+            engine.workload().tasks.size());
+}
+
+TEST(Engine, ValidationCatchesShortSolarHorizon) {
+  auto config = fast_config(PolicyKind::kAsap);
+  config.solar.horizon_days = 1;  // run is 3 days + drain
+  EXPECT_THROW(SimulationEngine{config}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gm::core

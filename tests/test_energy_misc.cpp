@@ -1,0 +1,194 @@
+// Grid meter, forecast providers and energy-ledger tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "energy/forecast.hpp"
+#include "energy/grid.hpp"
+#include "energy/ledger.hpp"
+#include "energy/solar.hpp"
+#include "util/assert.hpp"
+#include "util/units.hpp"
+
+namespace gm::energy {
+namespace {
+
+TEST(GridMeter, AccumulatesEnergyCarbonCost) {
+  GridMeter meter;  // flat 300 g/kWh, 0.12 $/kWh
+  meter.draw(0, kwh_to_j(10));
+  meter.draw(3600, kwh_to_j(5));
+  EXPECT_NEAR(meter.total_kwh(), 15.0, 1e-9);
+  EXPECT_NEAR(meter.total_carbon_g(), 15.0 * 300.0, 1e-6);
+  EXPECT_NEAR(meter.total_cost_usd(), 15.0 * 0.12, 1e-9);
+}
+
+TEST(GridMeter, TimeOfDayProfiles) {
+  GridConfig config;
+  config.carbon_g_per_kwh = PiecewiseLinear({0.0, 12.0, 24.0},
+                                            {100.0, 500.0, 100.0});
+  GridMeter meter(config);
+  meter.draw(0, kwh_to_j(1));            // midnight: 100 g
+  meter.draw(12 * 3600, kwh_to_j(1));    // noon: 500 g
+  EXPECT_NEAR(meter.total_carbon_g(), 600.0, 1e-6);
+}
+
+TEST(GridMeter, RejectsNegativeDraw) {
+  GridMeter meter;
+  EXPECT_THROW(meter.draw(0, -1.0), InvalidArgument);
+}
+
+TEST(PerfectForecast, EqualsTruth) {
+  auto src = std::make_shared<ConstantSource>(250.0);
+  PerfectForecast forecast(src);
+  EXPECT_NEAR(forecast.forecast_mean_w(0, 3600, 7200), 250.0, 1e-9);
+  EXPECT_NEAR(forecast.forecast_energy_j(0, 0, 3600), 250.0 * 3600.0,
+              1e-6);
+}
+
+TEST(PerfectForecast, MatchesSolarIntegral) {
+  SolarConfig config;
+  config.horizon_days = 3;
+  auto model = std::make_shared<SolarIrradianceModel>(config);
+  PerfectForecast forecast(model);
+  const SimTime a = 10 * 3600, b = 11 * 3600;
+  EXPECT_NEAR(forecast.forecast_mean_w(0, a, b),
+              model->energy_j(a, b) / 3600.0, 1e-9);
+}
+
+TEST(PerfectForecast, ValidatesWindow) {
+  PerfectForecast f(std::make_shared<NullSource>());
+  EXPECT_THROW(f.forecast_mean_w(0, 100, 100), InvalidArgument);
+  EXPECT_THROW(f.forecast_mean_w(200, 100, 300), InvalidArgument);
+}
+
+TEST(NoisyForecast, DeterministicPerQuery) {
+  auto src = std::make_shared<ConstantSource>(1000.0);
+  NoisyForecastConfig config;
+  NoisyForecast forecast(src, config);
+  const Watts a = forecast.forecast_mean_w(0, 7200, 10800);
+  const Watts b = forecast.forecast_mean_w(0, 7200, 10800);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(NoisyForecast, ErrorGrowsWithLeadTime) {
+  auto src = std::make_shared<ConstantSource>(1000.0);
+  NoisyForecastConfig config;
+  config.error_at_1h = 0.10;
+  NoisyForecast forecast(src, config);
+
+  // Empirical spread of relative error at 1 h vs 24 h lead.
+  const auto spread = [&](SimTime lead) {
+    double sq = 0.0;
+    const int n = 300;
+    for (int i = 0; i < n; ++i) {
+      const SimTime t0 = lead + i * 3600;
+      const double rel =
+          forecast.forecast_mean_w(t0 - lead, t0, t0 + 3600) / 1000.0 -
+          1.0;
+      sq += rel * rel;
+    }
+    return std::sqrt(sq / n);
+  };
+  EXPECT_LT(spread(3600), spread(24 * 3600));
+}
+
+TEST(NoisyForecast, UnbiasedOnAverage) {
+  auto src = std::make_shared<ConstantSource>(1000.0);
+  NoisyForecastConfig config;
+  config.error_at_1h = 0.15;
+  NoisyForecast forecast(src, config);
+  double sum = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i)
+    sum += forecast.forecast_mean_w(0, 3600 + i * 3600,
+                                    7200 + i * 3600);
+  EXPECT_NEAR(sum / n, 1000.0, 25.0);
+}
+
+TEST(NoisyForecast, ZeroTruthStaysZero) {
+  auto src = std::make_shared<NullSource>();
+  NoisyForecast forecast(src, NoisyForecastConfig{});
+  EXPECT_DOUBLE_EQ(forecast.forecast_mean_w(0, 3600, 7200), 0.0);
+}
+
+// -------------------------------------------------------------- Ledger
+
+SlotRecord balanced_record() {
+  SlotRecord r;
+  r.slot = 0;
+  r.start = 0;
+  r.end = 3600;
+  r.green_supply_j = 100.0;
+  r.green_direct_j = 60.0;
+  r.battery_charge_drawn_j = 30.0;
+  r.curtailed_j = 10.0;
+  r.battery_discharged_j = 20.0;
+  r.brown_j = 40.0;
+  r.demand_j = 120.0;  // 60 + 20 + 40
+  return r;
+}
+
+TEST(Ledger, AcceptsBalancedRecord) {
+  EnergyLedger ledger;
+  ledger.append(balanced_record());
+  EXPECT_EQ(ledger.size(), 1u);
+  EXPECT_DOUBLE_EQ(ledger.totals().brown_j, 40.0);
+}
+
+TEST(Ledger, RejectsSupplyImbalance) {
+  EnergyLedger ledger;
+  SlotRecord r = balanced_record();
+  r.curtailed_j = 99.0;
+  EXPECT_THROW(ledger.append(r), InvalidArgument);
+}
+
+TEST(Ledger, RejectsDemandImbalance) {
+  EnergyLedger ledger;
+  SlotRecord r = balanced_record();
+  r.brown_j = 0.0;
+  EXPECT_THROW(ledger.append(r), InvalidArgument);
+}
+
+TEST(Ledger, RejectsNegativeTerms) {
+  EnergyLedger ledger;
+  SlotRecord r = balanced_record();
+  r.brown_j = -40.0;
+  r.demand_j = 40.0;
+  EXPECT_THROW(ledger.append(r), InvalidArgument);
+}
+
+TEST(Ledger, RejectsEmptyInterval) {
+  EnergyLedger ledger;
+  SlotRecord r = balanced_record();
+  r.end = r.start;
+  EXPECT_THROW(ledger.append(r), InvalidArgument);
+}
+
+TEST(Ledger, TotalsAggregate) {
+  EnergyLedger ledger;
+  for (int i = 0; i < 5; ++i) {
+    SlotRecord r = balanced_record();
+    r.slot = i;
+    r.start = i * 3600;
+    r.end = r.start + 3600;
+    ledger.append(r);
+  }
+  const auto totals = ledger.totals();
+  EXPECT_DOUBLE_EQ(totals.green_supply_j, 500.0);
+  EXPECT_DOUBLE_EQ(totals.demand_j, 600.0);
+  EXPECT_DOUBLE_EQ(totals.brown_j, 200.0);
+  EXPECT_NEAR(totals.green_utilization(), (300.0 + 150.0) / 500.0,
+              1e-12);
+  EXPECT_NEAR(totals.green_coverage_of_demand(),
+              (600.0 - 200.0) / 600.0, 1e-12);
+}
+
+TEST(LedgerTotals, HandlesZeroDenominators) {
+  LedgerTotals t;
+  EXPECT_DOUBLE_EQ(t.green_utilization(), 0.0);
+  EXPECT_DOUBLE_EQ(t.green_coverage_of_demand(), 0.0);
+}
+
+}  // namespace
+}  // namespace gm::energy

@@ -1,0 +1,249 @@
+// Solar, wind, trace and composite supply model tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "energy/solar.hpp"
+#include "energy/supply.hpp"
+#include "energy/wind.hpp"
+#include "util/assert.hpp"
+#include "util/units.hpp"
+
+namespace gm::energy {
+namespace {
+
+SolarConfig sunny_config() {
+  SolarConfig c;
+  c.horizon_days = 7;
+  c.weather_persistence = 1.0;  // stays sunny
+  c.clearness_noise = 0.0;
+  c.clearness_sunny = 1.0;
+  return c;
+}
+
+TEST(Solar, ZeroAtNight) {
+  SolarIrradianceModel model(sunny_config());
+  for (int d = 0; d < 7; ++d) {
+    EXPECT_DOUBLE_EQ(model.power_w(d * 86400 + 0), 0.0);      // midnight
+    EXPECT_DOUBLE_EQ(model.power_w(d * 86400 + 2 * 3600), 0.0);
+    EXPECT_DOUBLE_EQ(model.power_w(d * 86400 + 23 * 3600), 0.0);
+  }
+}
+
+TEST(Solar, PeaksAtNoon) {
+  SolarIrradianceModel model(sunny_config());
+  const double noon = model.power_w(12 * 3600);
+  EXPECT_GT(noon, model.power_w(9 * 3600));
+  EXPECT_GT(noon, model.power_w(15 * 3600));
+  EXPECT_GT(noon, 600.0);   // June at 47°N, clear sky
+  EXPECT_LT(noon, 1100.0);  // below solar constant after atmosphere
+}
+
+TEST(Solar, ElevationSymmetricAroundNoon) {
+  SolarIrradianceModel model(sunny_config());
+  const double e10 = model.solar_elevation_rad(10 * 3600);
+  const double e14 = model.solar_elevation_rad(14 * 3600);
+  EXPECT_NEAR(e10, e14, 1e-9);
+  EXPECT_LT(model.solar_elevation_rad(0), 0.0);  // sun below horizon
+}
+
+TEST(Solar, CloudyDaysProduceLess) {
+  SolarConfig c = sunny_config();
+  c.clearness_sunny = 0.95;
+  c.clearness_cloudy = 0.25;
+  c.weather_persistence = 1.0;
+  SolarIrradianceModel sunny(c);
+
+  // Force a cloudy chain by flipping state means.
+  SolarConfig cloudy_cfg = c;
+  cloudy_cfg.clearness_sunny = 0.25;
+  SolarIrradianceModel cloudy(cloudy_cfg);
+
+  const SimTime noon = 12 * 3600;
+  EXPECT_LT(cloudy.power_w(noon), sunny.power_w(noon) * 0.5);
+}
+
+TEST(Solar, DeterministicPerSeed) {
+  SolarConfig c;
+  c.seed = 77;
+  SolarIrradianceModel a(c), b(c);
+  for (SimTime t = 0; t < 3 * 86400; t += 1800)
+    EXPECT_DOUBLE_EQ(a.power_w(t), b.power_w(t));
+  c.seed = 78;
+  SolarIrradianceModel other(c);
+  bool differs = false;
+  for (SimTime t = 0; t < 3 * 86400 && !differs; t += 1800)
+    differs = a.power_w(t) != other.power_w(t);
+  EXPECT_TRUE(differs);
+}
+
+TEST(Solar, ExtendsBeyondHorizonGracefully) {
+  SolarConfig c = sunny_config();
+  c.horizon_days = 2;
+  SolarIrradianceModel model(c);
+  // Querying day 5 must not crash and must still be diurnal.
+  EXPECT_DOUBLE_EQ(model.power_w(5 * 86400), 0.0);
+  EXPECT_GT(model.power_w(5 * 86400 + 12 * 3600), 0.0);
+}
+
+TEST(Solar, DailyEnergyPlausible) {
+  SolarIrradianceModel model(sunny_config());
+  const Joules day = model.energy_j(0, 86400, 300);
+  // Clear June day at 47°N: ~7-9 kWh/m² is the physical ballpark.
+  EXPECT_GT(j_to_kwh(day), 5.0);
+  EXPECT_LT(j_to_kwh(day), 10.0);
+}
+
+TEST(Solar, ValidationErrors) {
+  SolarConfig c;
+  c.horizon_days = 0;
+  EXPECT_THROW(SolarIrradianceModel{c}, InvalidArgument);
+  c = SolarConfig{};
+  c.latitude_deg = 95.0;
+  EXPECT_THROW(SolarIrradianceModel{c}, InvalidArgument);
+  c = SolarConfig{};
+  c.weather_persistence = 1.5;
+  EXPECT_THROW(SolarIrradianceModel{c}, InvalidArgument);
+}
+
+TEST(PvArray, ScalesWithAreaAndEfficiency) {
+  auto irr = std::make_shared<SolarIrradianceModel>(sunny_config());
+  PvArrayConfig small;
+  small.panel_count = 4;
+  PvArrayConfig big = small;
+  big.panel_count = 8;
+  PvArray a(irr, small), b(irr, big);
+  const SimTime noon = 12 * 3600;
+  EXPECT_NEAR(b.power_w(noon), 2.0 * a.power_w(noon), 1e-9);
+  EXPECT_NEAR(b.total_area_m2(), 2.0 * a.total_area_m2(), 1e-12);
+}
+
+TEST(PvArray, RatedPeakMatchesReferenceIrradiance) {
+  auto irr = std::make_shared<SolarIrradianceModel>(sunny_config());
+  PvArrayConfig c;  // 8 × 1.38 m² × 17.4% × 0.85 ≈ 1.63 kW
+  PvArray pv(irr, c);
+  EXPECT_NEAR(pv.rated_peak_w(),
+              1000.0 * 8 * 1.38 * 0.174 * 0.85, 1e-6);
+}
+
+TEST(PvArray, MakeHelperMatchesArea) {
+  auto pv = make_pv_array(sunny_config(), 120.0);
+  EXPECT_NEAR(pv->total_area_m2(), 120.0, 1e-9);
+  auto none = make_pv_array(sunny_config(), 0.0);
+  EXPECT_DOUBLE_EQ(none->power_w(12 * 3600), 0.0);
+}
+
+// ---------------------------------------------------------------- Wind
+
+TEST(Wind, TurbineCurveShape) {
+  WindConfig c;
+  WindModel model(c);
+  EXPECT_DOUBLE_EQ(model.turbine_power_w(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.turbine_power_w(2.9), 0.0);    // below cut-in
+  EXPECT_GT(model.turbine_power_w(6.0), 0.0);
+  EXPECT_LT(model.turbine_power_w(6.0), c.rated_power_w);
+  EXPECT_DOUBLE_EQ(model.turbine_power_w(12.0), c.rated_power_w);
+  EXPECT_DOUBLE_EQ(model.turbine_power_w(20.0), c.rated_power_w);
+  EXPECT_DOUBLE_EQ(model.turbine_power_w(25.0), 0.0);   // cut-out
+  EXPECT_DOUBLE_EQ(model.turbine_power_w(30.0), 0.0);
+}
+
+TEST(Wind, CurveMonotoneBetweenCutInAndRated) {
+  WindModel model{WindConfig{}};
+  double prev = 0.0;
+  for (double v = 3.0; v <= 12.0; v += 0.5) {
+    const double p = model.turbine_power_w(v);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Wind, SpeedsHavePlausibleMean) {
+  WindConfig c;
+  c.horizon_days = 60;
+  WindModel model(c);
+  double sum = 0.0;
+  int n = 0;
+  for (SimTime t = 0; t < 60 * 86400; t += 3600, ++n)
+    sum += model.wind_speed_ms(t);
+  // Weibull k=2 λ=7 → mean = 7·Γ(1.5) ≈ 6.2 m/s.
+  EXPECT_NEAR(sum / n, 6.2, 1.0);
+}
+
+TEST(Wind, DeterministicPerSeed) {
+  WindConfig c;
+  WindModel a(c), b(c);
+  for (SimTime t = 0; t < 2 * 86400; t += 900)
+    EXPECT_DOUBLE_EQ(a.power_w(t), b.power_w(t));
+}
+
+TEST(Wind, ProducesAtNightUnlikeSolar) {
+  // The structural difference the future-work experiment relies on:
+  // wind output is not diurnal.
+  WindConfig c;
+  c.horizon_days = 30;
+  WindModel model(c);
+  Joules night = 0.0;
+  for (int d = 0; d < 30; ++d)
+    night += model.energy_j(d * 86400, d * 86400 + 6 * 3600, 900);
+  EXPECT_GT(night, 0.0);
+}
+
+TEST(Wind, ValidationErrors) {
+  WindConfig c;
+  c.autocorrelation = 1.0;
+  EXPECT_THROW(WindModel{c}, InvalidArgument);
+  c = WindConfig{};
+  c.cut_in_ms = 15.0;  // above rated
+  EXPECT_THROW(WindModel{c}, InvalidArgument);
+}
+
+// ----------------------------------------------------- Generic sources
+
+TEST(TraceSource, InterpolatesBetweenSamples) {
+  TraceSource trace({0.0, 100.0, 50.0}, 3600);
+  EXPECT_DOUBLE_EQ(trace.power_w(0), 0.0);
+  EXPECT_DOUBLE_EQ(trace.power_w(1800), 50.0);
+  EXPECT_DOUBLE_EQ(trace.power_w(3600), 100.0);
+  EXPECT_DOUBLE_EQ(trace.power_w(5400), 75.0);
+  // Past the end: ramps to zero then stays zero.
+  EXPECT_DOUBLE_EQ(trace.power_w(3 * 3600), 0.0);
+  EXPECT_DOUBLE_EQ(trace.power_w(-5), 0.0);
+}
+
+TEST(TraceSource, RejectsNegativePower) {
+  EXPECT_THROW(TraceSource({1.0, -2.0}, 60), InvalidArgument);
+  EXPECT_THROW(TraceSource({1.0}, 0), InvalidArgument);
+}
+
+TEST(Sources, ConstantAndNull) {
+  ConstantSource c(42.0);
+  NullSource n;
+  EXPECT_DOUBLE_EQ(c.power_w(12345), 42.0);
+  EXPECT_DOUBLE_EQ(n.power_w(12345), 0.0);
+  EXPECT_NEAR(c.energy_j(0, 3600), 42.0 * 3600, 1e-9);
+}
+
+TEST(Sources, ScaledMultiplies) {
+  auto base = std::make_shared<ConstantSource>(10.0);
+  ScaledSource scaled(base, 2.5);
+  EXPECT_DOUBLE_EQ(scaled.power_w(0), 25.0);
+  EXPECT_NEAR(scaled.energy_j(0, 100), 2500.0, 1e-9);
+}
+
+TEST(Sources, CompositeSums) {
+  CompositeSource comp;
+  comp.add(std::make_shared<ConstantSource>(10.0));
+  comp.add(std::make_shared<ConstantSource>(5.0));
+  EXPECT_DOUBLE_EQ(comp.power_w(0), 15.0);
+}
+
+TEST(Sources, TrapezoidIntegrationAccuracy) {
+  // Integrate a linear ramp exactly.
+  TraceSource ramp({0.0, 3600.0}, 3600);
+  EXPECT_NEAR(ramp.energy_j(0, 3600, 60), 0.5 * 3600.0 * 3600.0, 1.0);
+}
+
+}  // namespace
+}  // namespace gm::energy

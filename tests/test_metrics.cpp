@@ -1,0 +1,65 @@
+// Metrics/report computation tests.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/report.hpp"
+
+namespace gm::metrics {
+namespace {
+
+TEST(Qos, MissRateHandlesZeroTasks) {
+  QosReport qos;
+  EXPECT_DOUBLE_EQ(qos.deadline_miss_rate(), 0.0);
+  qos.tasks_total = 200;
+  qos.deadline_misses = 5;
+  EXPECT_DOUBLE_EQ(qos.deadline_miss_rate(), 0.025);
+}
+
+TEST(RunResult, UnitConversions) {
+  RunResult r;
+  r.energy.brown_j = kwh_to_j(12.5);
+  r.energy.green_supply_j = kwh_to_j(100.0);
+  r.energy.curtailed_j = kwh_to_j(7.0);
+  r.energy.demand_j = kwh_to_j(80.0);
+  EXPECT_DOUBLE_EQ(r.brown_kwh(), 12.5);
+  EXPECT_DOUBLE_EQ(r.green_supply_kwh(), 100.0);
+  EXPECT_DOUBLE_EQ(r.curtailed_kwh(), 7.0);
+  EXPECT_DOUBLE_EQ(r.demand_kwh(), 80.0);
+}
+
+TEST(RunResult, LossesAggregateAllChannels) {
+  RunResult r;
+  r.battery.conversion_loss_j = kwh_to_j(1.0);
+  r.battery.self_discharge_loss_j = kwh_to_j(2.0);
+  r.energy.overhead_transition_j = kwh_to_j(3.0);
+  r.energy.overhead_migration_j = kwh_to_j(4.0);
+  EXPECT_DOUBLE_EQ(r.losses_kwh(), 10.0);
+}
+
+TEST(RunResult, SummaryMentionsKeyNumbers) {
+  RunResult r;
+  r.scheduler.policy_name = "test-policy";
+  r.duration = 2 * 86400;
+  r.energy.demand_j = kwh_to_j(100.0);
+  r.energy.green_supply_j = kwh_to_j(60.0);
+  r.energy.green_direct_j = kwh_to_j(50.0);
+  r.energy.battery_charge_drawn_j = kwh_to_j(10.0);
+  r.energy.battery_discharged_j = kwh_to_j(8.0);
+  r.energy.brown_j = kwh_to_j(42.0);
+  r.qos.tasks_total = 10;
+  r.qos.tasks_completed = 9;
+  r.qos.deadline_misses = 1;
+
+  std::ostringstream os;
+  r.print_summary(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("test-policy"), std::string::npos);
+  EXPECT_NE(s.find("42.00"), std::string::npos);
+  EXPECT_NE(s.find("9/10"), std::string::npos);
+  EXPECT_NE(s.find("2.00 days"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gm::metrics

@@ -1,0 +1,195 @@
+// Disk and storage-node state machine and power model tests.
+
+#include <gtest/gtest.h>
+
+#include "storage/disk.hpp"
+#include "storage/node.hpp"
+#include "util/assert.hpp"
+
+namespace gm::storage {
+namespace {
+
+TEST(Disk, InitialStateIdleSpinning) {
+  Disk d(0, DiskConfig{});
+  EXPECT_EQ(d.state(), DiskState::kIdle);
+  EXPECT_TRUE(d.spinning());
+  EXPECT_EQ(d.spinup_count(), 0u);
+}
+
+TEST(Disk, SpinDownAndUpCycle) {
+  DiskConfig config;
+  Disk d(0, config);
+  d.spin_down(100);
+  EXPECT_EQ(d.state(), DiskState::kStandby);
+  EXPECT_FALSE(d.spinning());
+
+  const SimTime done = d.begin_spinup(200);
+  EXPECT_EQ(done, 200 + static_cast<SimTime>(config.spinup_time_s));
+  EXPECT_EQ(d.state(), DiskState::kSpinningUp);
+  d.complete_spinup(done);
+  EXPECT_EQ(d.state(), DiskState::kIdle);
+  EXPECT_EQ(d.spinup_count(), 1u);
+}
+
+TEST(Disk, SpinupOnSpinningDiskIsNoop) {
+  Disk d(0, DiskConfig{});
+  EXPECT_EQ(d.begin_spinup(50), 50);
+  EXPECT_EQ(d.spinup_count(), 0u);
+}
+
+TEST(Disk, RepeatedSpinupReturnsSameCompletion) {
+  Disk d(0, DiskConfig{});
+  d.spin_down(0);
+  const SimTime done = d.begin_spinup(10);
+  EXPECT_EQ(d.begin_spinup(12), done);
+  EXPECT_EQ(d.spinup_count(), 1u);
+}
+
+TEST(Disk, SpinDownRequiresSpinning) {
+  Disk d(0, DiskConfig{});
+  d.spin_down(0);
+  EXPECT_THROW(d.spin_down(1), InvalidArgument);
+}
+
+TEST(Disk, ServiceTimeModel) {
+  DiskConfig config;
+  config.avg_seek_s = 0.01;
+  config.bandwidth_bytes_per_s = 100e6;
+  Disk d(0, config);
+  EXPECT_NEAR(d.service_time_s(100'000'000), 0.01 + 1.0, 1e-9);
+  EXPECT_NEAR(d.service_time_s(0), 0.01, 1e-12);
+}
+
+TEST(Disk, NoIoWhileStandby) {
+  Disk d(0, DiskConfig{});
+  d.spin_down(0);
+  EXPECT_THROW(d.service_time_s(1024), InvalidArgument);
+}
+
+TEST(Disk, PowerPerState) {
+  DiskConfig config;
+  Disk d(0, config);
+  EXPECT_DOUBLE_EQ(d.power_w(), config.idle_power_w);
+  d.spin_down(0);
+  EXPECT_DOUBLE_EQ(d.power_w(), config.standby_power_w);
+  d.begin_spinup(10);
+  EXPECT_DOUBLE_EQ(d.power_w(), config.spinup_power_w);
+}
+
+TEST(Disk, CycleBudget) {
+  DiskConfig config;
+  config.max_spinup_cycles_per_day = 2.0;
+  Disk d(0, config);
+  EXPECT_TRUE(d.cycle_budget_allows(1.0));
+  for (int i = 0; i < 2; ++i) {
+    d.spin_down(i * 100);
+    d.complete_spinup(d.begin_spinup(i * 100 + 50));
+  }
+  EXPECT_FALSE(d.cycle_budget_allows(1.0));  // third cycle would exceed
+  EXPECT_TRUE(d.cycle_budget_allows(2.0));
+}
+
+TEST(DiskConfig, Validation) {
+  DiskConfig c;
+  c.idle_power_w = 20.0;  // above active
+  EXPECT_THROW(c.validate(), InvalidArgument);
+  c = DiskConfig{};
+  c.bandwidth_bytes_per_s = 0.0;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+}
+
+// ---------------------------------------------------------------- Node
+
+TEST(Node, StartsOnWithSpinningDisks) {
+  StorageNode n(0, 0, NodeConfig{});
+  EXPECT_TRUE(n.available());
+  EXPECT_EQ(n.disks().size(), 4u);
+  for (const auto& d : n.disks()) EXPECT_TRUE(d.spinning());
+}
+
+TEST(Node, PowerOffCycleSpinsDownDisks) {
+  NodeConfig config;
+  StorageNode n(0, 0, config);
+  const SimTime done = n.begin_power_off(100);
+  EXPECT_EQ(done, 100 + static_cast<SimTime>(config.shutdown_time_s));
+  for (const auto& d : n.disks()) EXPECT_FALSE(d.spinning());
+  n.complete_power_off(done);
+  EXPECT_EQ(n.state(), NodeState::kOff);
+  EXPECT_DOUBLE_EQ(n.power_w(0.0), 0.0);
+}
+
+TEST(Node, PowerOnRestoresDisks) {
+  NodeConfig config;
+  StorageNode n(0, 0, config);
+  n.complete_power_off(n.begin_power_off(0));
+  const SimTime done = n.begin_power_on(1000);
+  EXPECT_EQ(done, 1000 + static_cast<SimTime>(config.boot_time_s));
+  n.complete_power_on(done);
+  EXPECT_TRUE(n.available());
+  for (const auto& d : n.disks()) EXPECT_TRUE(d.spinning());
+  EXPECT_EQ(n.power_cycle_count(), 1u);
+}
+
+TEST(Node, PowerOnWhenOnIsNoop) {
+  StorageNode n(0, 0, NodeConfig{});
+  EXPECT_EQ(n.begin_power_on(42), 42);
+  EXPECT_EQ(n.power_cycle_count(), 0u);
+}
+
+TEST(Node, LinearPowerModel) {
+  NodeConfig config;
+  StorageNode n(0, 0, config);
+  const Watts disks = 4 * config.disk.idle_power_w;
+  EXPECT_NEAR(n.power_w(0.0), config.cpu_idle_w + disks, 1e-9);
+  EXPECT_NEAR(n.power_w(1.0), config.cpu_peak_w + disks, 1e-9);
+  EXPECT_NEAR(n.power_w(0.5),
+              config.cpu_idle_w +
+                  0.5 * (config.cpu_peak_w - config.cpu_idle_w) + disks,
+              1e-9);
+}
+
+TEST(Node, IdleIsRoughlyHalfPeak) {
+  // The structural fact the paper family leans on.
+  NodeConfig config;
+  const double ratio = config.idle_floor_w() / config.peak_w();
+  EXPECT_GT(ratio, 0.4);
+  EXPECT_LT(ratio, 0.6);
+}
+
+TEST(Node, PowerDuringTransitions) {
+  NodeConfig config;
+  StorageNode n(0, 0, config);
+  n.begin_power_off(0);
+  EXPECT_DOUBLE_EQ(n.power_w(0.0), config.boot_power_w);
+}
+
+TEST(Node, UtilizationOutOfRangeRejected) {
+  StorageNode n(0, 0, NodeConfig{});
+  EXPECT_THROW(n.power_w(-0.1), InvalidArgument);
+  EXPECT_THROW(n.power_w(1.2), InvalidArgument);
+}
+
+TEST(Node, TaskUtilizationClamped) {
+  StorageNode n(0, 0, NodeConfig{});
+  EXPECT_DOUBLE_EQ(n.task_utilization(2, 0.25), 0.5);
+  EXPECT_DOUBLE_EQ(n.task_utilization(10, 0.25), 1.0);
+  EXPECT_THROW(n.task_utilization(-1, 0.25), InvalidArgument);
+}
+
+TEST(Node, IllegalTransitionsRejected) {
+  StorageNode n(0, 0, NodeConfig{});
+  n.begin_power_off(0);
+  EXPECT_THROW(n.begin_power_on(1), InvalidArgument);  // while shutting
+}
+
+TEST(NodeConfig, Validation) {
+  NodeConfig c;
+  c.cpu_idle_w = 300.0;  // above peak
+  EXPECT_THROW(c.validate(), InvalidArgument);
+  c = NodeConfig{};
+  c.task_slots = -1;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gm::storage

@@ -1,0 +1,170 @@
+// Placement map tests: determinism, replication, rack-disjointness,
+// balance, stability under node-set changes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "storage/placement.hpp"
+#include "util/assert.hpp"
+
+namespace gm::storage {
+namespace {
+
+std::vector<NodeDescriptor> grid_nodes(int racks, int per_rack) {
+  std::vector<NodeDescriptor> nodes;
+  NodeId id = 0;
+  for (int r = 0; r < racks; ++r)
+    for (int n = 0; n < per_rack; ++n)
+      nodes.push_back({id++, static_cast<RackId>(r)});
+  return nodes;
+}
+
+PlacementConfig config_with(int replication, std::uint32_t groups) {
+  PlacementConfig c;
+  c.replication = replication;
+  c.group_count = groups;
+  return c;
+}
+
+TEST(Placement, EveryGroupHasExactlyRReplicas) {
+  PlacementMap map(config_with(3, 256), grid_nodes(4, 8));
+  for (GroupId g = 0; g < 256; ++g) {
+    const auto& reps = map.replicas(g);
+    EXPECT_EQ(reps.size(), 3u) << "group " << g;
+    // Replicas are distinct nodes.
+    std::set<NodeId> unique(reps.begin(), reps.end());
+    EXPECT_EQ(unique.size(), reps.size());
+  }
+}
+
+TEST(Placement, ReplicasInDistinctRacks) {
+  const auto nodes = grid_nodes(4, 8);
+  PlacementMap map(config_with(3, 256), nodes);
+  for (GroupId g = 0; g < 256; ++g) {
+    std::set<RackId> racks;
+    for (NodeId n : map.replicas(g)) racks.insert(nodes[n].rack);
+    EXPECT_EQ(racks.size(), 3u) << "group " << g;
+  }
+}
+
+TEST(Placement, RelaxesRackConstraintWhenImpossible) {
+  // 2 racks but replication 3: still places 3 distinct nodes.
+  PlacementMap map(config_with(3, 64), grid_nodes(2, 4));
+  for (GroupId g = 0; g < 64; ++g) {
+    const auto& reps = map.replicas(g);
+    EXPECT_EQ(reps.size(), 3u);
+    std::set<NodeId> unique(reps.begin(), reps.end());
+    EXPECT_EQ(unique.size(), 3u);
+  }
+}
+
+TEST(Placement, DeterministicPerSeed) {
+  PlacementConfig c = config_with(2, 128);
+  PlacementMap a(c, grid_nodes(4, 4)), b(c, grid_nodes(4, 4));
+  for (GroupId g = 0; g < 128; ++g)
+    EXPECT_EQ(a.replicas(g), b.replicas(g));
+
+  c.seed = 99;
+  PlacementMap other(c, grid_nodes(4, 4));
+  int moved = 0;
+  for (GroupId g = 0; g < 128; ++g)
+    if (a.replicas(g) != other.replicas(g)) ++moved;
+  EXPECT_GT(moved, 64);  // different seed reshuffles most groups
+}
+
+TEST(Placement, LoadIsBalanced) {
+  const auto nodes = grid_nodes(4, 8);
+  PlacementMap map(config_with(3, 4096), nodes);
+  std::vector<int> load(nodes.size(), 0);
+  for (GroupId g = 0; g < 4096; ++g)
+    for (NodeId n : map.replicas(g)) ++load[n];
+  const double expected = 4096.0 * 3 / nodes.size();  // 384
+  const auto [lo, hi] = std::minmax_element(load.begin(), load.end());
+  EXPECT_GT(*lo, expected * 0.7);
+  EXPECT_LT(*hi, expected * 1.3);
+}
+
+TEST(Placement, GroupsOnInvertsReplicas) {
+  const auto nodes = grid_nodes(3, 5);
+  PlacementMap map(config_with(2, 200), nodes);
+  for (const auto& nd : nodes) {
+    for (GroupId g : map.groups_on(nd.id)) {
+      const auto& reps = map.replicas(g);
+      EXPECT_NE(std::find(reps.begin(), reps.end(), nd.id), reps.end());
+    }
+  }
+  // Total group-slots match.
+  std::size_t total = 0;
+  for (const auto& nd : nodes) total += map.groups_on(nd.id).size();
+  EXPECT_EQ(total, 200u * 2u);
+}
+
+TEST(Placement, ObjectToGroupStableAndUniform) {
+  PlacementMap map(config_with(2, 64), grid_nodes(2, 4));
+  std::vector<int> hits(64, 0);
+  for (ObjectId o = 0; o < 64000; ++o) {
+    const GroupId g = map.group_of(o);
+    EXPECT_EQ(g, map.group_of(o));
+    ASSERT_LT(g, 64u);
+    ++hits[g];
+  }
+  const auto [lo, hi] = std::minmax_element(hits.begin(), hits.end());
+  EXPECT_GT(*lo, 700);
+  EXPECT_LT(*hi, 1300);
+}
+
+TEST(Placement, MinimalMovementOnNodeRemoval) {
+  // Rendezvous property: dropping one node only moves the groups that
+  // had a replica there.
+  auto nodes = grid_nodes(4, 8);
+  PlacementConfig c = config_with(2, 512);
+  PlacementMap full(c, nodes);
+
+  auto fewer = nodes;
+  const NodeId removed = 17;
+  fewer.erase(std::remove_if(fewer.begin(), fewer.end(),
+                             [&](const NodeDescriptor& d) {
+                               return d.id == removed;
+                             }),
+              fewer.end());
+  PlacementMap reduced(c, fewer);
+
+  for (GroupId g = 0; g < 512; ++g) {
+    const auto& before = full.replicas(g);
+    const auto& after = reduced.replicas(g);
+    const bool touched =
+        std::find(before.begin(), before.end(), removed) != before.end();
+    if (!touched) {
+      EXPECT_EQ(before, after) << "untouched group " << g << " moved";
+    } else {
+      // The surviving replica keeps its slot.
+      for (NodeId n : before)
+        if (n != removed)
+          EXPECT_NE(std::find(after.begin(), after.end(), n),
+                    after.end());
+    }
+  }
+}
+
+TEST(Placement, ValidationErrors) {
+  EXPECT_THROW(PlacementMap(config_with(0, 10), grid_nodes(2, 2)),
+               InvalidArgument);
+  EXPECT_THROW(PlacementMap(config_with(2, 0), grid_nodes(2, 2)),
+               InvalidArgument);
+  EXPECT_THROW(PlacementMap(config_with(2, 10), {}), InvalidArgument);
+  EXPECT_THROW(PlacementMap(config_with(2, 10),
+                            {{0, 0}, {0, 1}}),  // duplicate id
+               InvalidArgument);
+}
+
+TEST(Placement, UnknownNodeQueriesThrow) {
+  PlacementMap map(config_with(2, 16), grid_nodes(2, 2));
+  EXPECT_THROW(map.groups_on(99), InvalidArgument);
+  EXPECT_THROW(map.replicas(16), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gm::storage

@@ -1,0 +1,106 @@
+// greenmatch_sim — the experiment-runner CLI.
+//
+//   greenmatch_sim [config-file] [key=value ...] [--slots] [--help]
+//
+// Runs one simulation from canonical defaults + the optional config
+// file + any key=value overrides (same key space as the file format),
+// then prints the run summary. `--slots` additionally emits the
+// per-slot energy ledger as CSV on stdout.
+//
+// Examples:
+//   greenmatch_sim policy.kind=asap battery.kwh=40
+//   greenmatch_sim experiment.conf sim.fidelity=event --slots
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/config_io.hpp"
+#include "core/engine.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+void print_usage() {
+  std::cout <<
+      "usage: greenmatch_sim [config-file] [key=value ...] [--slots]\n\n"
+      "Runs one GreenMatch simulation. Configuration keys:\n\n"
+      << gm::core::config_keys_help();
+}
+
+void print_slot_csv(const gm::core::RunArtifacts& artifacts) {
+  gm::CsvWriter csv(std::cout);
+  csv.field("slot").field("start_s").field("demand_kwh")
+      .field("green_supply_kwh").field("green_direct_kwh")
+      .field("battery_in_kwh").field("battery_out_kwh")
+      .field("brown_kwh").field("curtailed_kwh")
+      .field("battery_soc_kwh").field("active_nodes");
+  csv.end_row();
+  const auto& slots = artifacts.ledger.slots();
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const auto& s = slots[i];
+    csv.field(s.slot)
+        .field(s.start)
+        .field(gm::j_to_kwh(s.demand_j))
+        .field(gm::j_to_kwh(s.green_supply_j))
+        .field(gm::j_to_kwh(s.green_direct_j))
+        .field(gm::j_to_kwh(s.battery_charge_drawn_j))
+        .field(gm::j_to_kwh(s.battery_discharged_j))
+        .field(gm::j_to_kwh(s.brown_j))
+        .field(gm::j_to_kwh(s.curtailed_j))
+        .field(gm::j_to_kwh(s.battery_stored_end_j))
+        .field(static_cast<std::int64_t>(
+            artifacts.active_nodes_per_slot[i]));
+    csv.end_row();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool emit_slots = false;
+  std::string config_path;
+  gm::KeyValueConfig overrides;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    }
+    if (arg == "--slots") {
+      emit_slots = true;
+      continue;
+    }
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      overrides.set(arg.substr(0, eq), arg.substr(eq + 1));
+    } else if (config_path.empty()) {
+      config_path = arg;
+    } else {
+      std::cerr << "error: unexpected argument '" << arg << "'\n";
+      return 2;
+    }
+  }
+
+  try {
+    gm::core::ExperimentConfig config =
+        gm::core::ExperimentConfig::canonical();
+    if (!config_path.empty())
+      gm::core::apply_config(
+          config, gm::KeyValueConfig::load_file(config_path));
+    gm::core::apply_config(config, overrides);
+
+    const gm::core::RunArtifacts artifacts =
+        gm::core::run_experiment(config);
+    artifacts.result.print_summary(std::cout);
+    if (emit_slots) {
+      std::cout << '\n';
+      print_slot_csv(artifacts);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
