@@ -4,9 +4,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include "core/engine.hpp"
 #include "core/mincost_flow.hpp"
 #include "energy/battery.hpp"
 #include "energy/solar.hpp"
+#include "obs/recorder.hpp"
 #include "sim/simulator.hpp"
 #include "storage/cluster.hpp"
 #include "util/rng.hpp"
@@ -94,6 +96,36 @@ void BM_BatteryStep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_BatteryStep);
+
+// One short GreenMatch run per iteration; surfaces the planner's CPU
+// time (SchedulerReport::plan_solve_ms_total) as a per-run counter so
+// regressions in the flow planner show up here, not just in R-Tab-2.
+void BM_GreenMatchPlanDay(benchmark::State& state) {
+  auto config = core::ExperimentConfig::canonical();
+  config.workload.duration_days = 1;
+  config.policy.kind = core::PolicyKind::kGreenMatch;
+  config.policy.deferral_fraction = 1.0;
+  double plan_ms = 0.0;
+  for (auto _ : state) {
+    const auto r = core::run_experiment(config).result;
+    plan_ms += r.scheduler.plan_solve_ms_total;
+    benchmark::DoNotOptimize(r.scheduler.plan_solve_ms_total);
+  }
+  state.counters["plan_ms_per_run"] = benchmark::Counter(
+      plan_ms / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_GreenMatchPlanDay)->Unit(benchmark::kMillisecond);
+
+// Cost of GM_OBS_SCOPE when no recorder is installed: one
+// thread-local read and a branch. Guards the <2% overhead budget.
+void BM_ObsScopeDisabled(benchmark::State& state) {
+  for (auto _ : state) {
+    GM_OBS_SCOPE("bench.disabled");
+    benchmark::DoNotOptimize(obs::current_recorder());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsScopeDisabled);
 
 void BM_SolarPower(benchmark::State& state) {
   energy::SolarConfig config;

@@ -26,7 +26,7 @@ int main() {
       core::PolicyKind::kGreenMatch};
 
   TextTable t({"mix", "policy", "brown kWh", "green util", "misses",
-               "p95 ms", "migr", "cycles", "wakeups"});
+               "p95 ms", "migr", "cycles", "wakeups", "plan ms"});
   for (const auto& mix : mixes) {
     for (auto kind : kinds) {
       auto config = bench::canonical_config();
@@ -45,10 +45,12 @@ int main() {
                  std::to_string(r.scheduler.task_migrations),
                  std::to_string(r.scheduler.node_power_ons +
                                 r.scheduler.node_power_offs),
-                 std::to_string(r.scheduler.forced_wakeups)});
+                 std::to_string(r.scheduler.forced_wakeups),
+                 bench::fmt(r.scheduler.plan_solve_ms_total, 1)});
       bench::csv_row({mix.name, r.scheduler.policy_name,
                       bench::fmt(r.brown_kwh(), 4),
-                      bench::fmt(r.energy.green_utilization(), 4)});
+                      bench::fmt(r.energy.green_utilization(), 4),
+                      bench::fmt(r.scheduler.plan_solve_ms_total, 2)});
     }
   }
   t.print(std::cout);

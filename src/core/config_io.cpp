@@ -1,5 +1,6 @@
 #include "core/config_io.hpp"
 
+#include <limits>
 #include <sstream>
 
 #include "util/assert.hpp"
@@ -170,6 +171,77 @@ ExperimentConfig config_from_file(const std::string& path) {
   ExperimentConfig config = ExperimentConfig::canonical();
   apply_config(config, KeyValueConfig::load_file(path));
   return config;
+}
+
+namespace {
+
+std::string echo_num(double v) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  return os.str();
+}
+
+std::string echo_bool(bool v) { return v ? "true" : "false"; }
+
+std::string echo_battery_technology(const energy::BatteryConfig& b) {
+  switch (b.technology) {
+    case energy::BatteryTechnology::kLeadAcid: return "la";
+    case energy::BatteryTechnology::kLithiumIon: return "li";
+    case energy::BatteryTechnology::kCustom: return "ideal";
+  }
+  return "li";
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, std::string>> config_echo(
+    const ExperimentConfig& c) {
+  std::vector<std::pair<std::string, std::string>> kv;
+  const auto add = [&kv](const std::string& k, const std::string& v) {
+    kv.emplace_back(k, v);
+  };
+  add("cluster.racks", std::to_string(c.cluster.racks));
+  add("cluster.nodes_per_rack",
+      std::to_string(c.cluster.nodes_per_rack));
+  add("cluster.replication",
+      std::to_string(c.cluster.placement.replication));
+  add("cluster.groups", std::to_string(c.cluster.placement.group_count));
+  add("cluster.task_slots", std::to_string(c.cluster.node.task_slots));
+  add("workload.days", std::to_string(c.workload.duration_days));
+  add("workload.seed", std::to_string(c.workload.seed));
+  add("workload.foreground_rate",
+      echo_num(c.workload.foreground.base_rate_per_s));
+  add("solar.panel_area_m2", echo_num(c.panel_area_m2));
+  add("solar.latitude_deg", echo_num(c.solar.latitude_deg));
+  add("solar.seed", std::to_string(c.solar.seed));
+  add("solar.horizon_days", std::to_string(c.solar.horizon_days));
+  if (!c.solar_trace_csv.empty())
+    add("solar.trace_csv", c.solar_trace_csv);
+  add("wind.enabled", echo_bool(c.use_wind));
+  add("wind.rated_kw", echo_num(c.wind.rated_power_w / 1000.0));
+  add("wind.horizon_days", std::to_string(c.wind.horizon_days));
+  add("battery.technology", echo_battery_technology(c.battery));
+  add("battery.kwh", echo_num(j_to_kwh(c.battery.capacity_j)));
+  add("battery.initial_soc", echo_num(c.battery.initial_soc_fraction));
+  add("policy.kind", policy_kind_name(c.policy.kind));
+  add("policy.deferral", echo_num(c.policy.deferral_fraction));
+  add("policy.horizon", std::to_string(c.policy.horizon_slots));
+  add("policy.battery_aware", echo_bool(c.policy.battery_aware));
+  add("policy.carbon_aware", echo_bool(c.policy.carbon_aware));
+  add("policy.window_start_h", echo_num(c.policy.window_start_h));
+  add("policy.window_end_h", echo_num(c.policy.window_end_h));
+  add("sim.fidelity",
+      c.fidelity == Fidelity::kEventLevel ? "event" : "slot");
+  add("sim.slot_seconds", std::to_string(c.slot_length_s));
+  add("sim.dwell_slots", std::to_string(c.min_dwell_slots));
+  add("sim.drain_slots", std::to_string(c.max_drain_slots));
+  add("sim.dvfs_eco_speed", echo_num(c.dvfs_eco_speed));
+  add("sim.maid", echo_bool(c.maid_enabled));
+  add("sim.maid_min_disks", std::to_string(c.maid_min_spinning_disks));
+  add("forecast.noisy", echo_bool(c.noisy_forecast));
+  add("forecast.error_at_1h", echo_num(c.forecast_noise.error_at_1h));
+  return kv;
 }
 
 std::string config_keys_help() {

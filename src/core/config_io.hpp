@@ -5,6 +5,8 @@
 // the default.
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/config.hpp"
 #include "util/config_kv.hpp"
@@ -20,6 +22,15 @@ ExperimentConfig config_from_file(const std::string& path);
 
 /// One-line-per-key description of the accepted configuration keys.
 std::string config_keys_help();
+
+/// Echoes a config back as (key, value) pairs in the same key space
+/// `apply_config` consumes, so a run manifest doubles as a config file
+/// that reproduces the run. Covers every CLI-settable key; fields only
+/// reachable through the C++ API (preset workloads, custom grids,
+/// failure schedules) are not representable and are echoed by their
+/// nearest key-space equivalent (battery kCustom echoes as "ideal").
+std::vector<std::pair<std::string, std::string>> config_echo(
+    const ExperimentConfig& config);
 
 /// Parses policy names as used in config files and CLIs.
 PolicyKind parse_policy_kind(const std::string& name);

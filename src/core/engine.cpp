@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/config_io.hpp"
 #include "core/policies.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
@@ -45,8 +46,10 @@ std::unique_ptr<energy::ForecastProvider> build_forecast(
 
 }  // namespace
 
-SimulationEngine::SimulationEngine(const ExperimentConfig& config)
+SimulationEngine::SimulationEngine(const ExperimentConfig& config,
+                                   std::shared_ptr<obs::Recorder> recorder)
     : config_(config),
+      recorder_(std::move(recorder)),
       cluster_(config.cluster),
       workload_(config.preset_workload
                     ? config.preset_workload
@@ -100,6 +103,20 @@ SimulationEngine::SimulationEngine(const ExperimentConfig& config)
       fg_util_[s] += service * config_.foreground_cpu_factor /
                      static_cast<double>(config_.slot_length_s);
   }
+
+  // Manifest first thing, so even an aborted run leaves its
+  // reproduction recipe next to the (partial) trace.
+  if (recorder_) {
+    obs::ManifestInfo info;
+    info.config_echo = config_echo(config_);
+    info.policy_name = policy_->name();
+    info.workload_seed = config_.workload.seed;
+    info.solar_seed = config_.solar.seed;
+    info.policy_seed = config_.policy.seed;
+    info.slot_length_s = static_cast<double>(config_.slot_length_s);
+    info.total_slots = static_cast<std::int64_t>(this->total_slots());
+    recorder_->write_manifest(info);
+  }
 }
 
 void SimulationEngine::admit_released_tasks(SimTime now) {
@@ -109,6 +126,7 @@ void SimulationEngine::admit_released_tasks(SimTime now) {
     p.task = workload_->tasks[next_task_index_++];
     p.remaining_s = p.task.work_s;
     p.policy_tag = policy_->admit(p.task);
+    if (trace_events()) trace_task_admit(p.task, now, "workload");
     pending_.push_back(p);
   }
   for (auto& task : router_.drain_offload_tasks()) {
@@ -116,8 +134,19 @@ void SimulationEngine::admit_released_tasks(SimTime now) {
     p.task = task;
     p.remaining_s = task.work_s;
     p.policy_tag = policy_->admit(p.task);
+    if (trace_events()) trace_task_admit(p.task, now, "offload");
     pending_.push_back(p);
   }
+}
+
+void SimulationEngine::trace_task_admit(const storage::BackgroundTask& task,
+                                        SimTime now, const char* source) {
+  recorder_->event("task_admit", static_cast<double>(now))
+      .set("task", static_cast<std::uint64_t>(task.id))
+      .set("type", storage::task_type_name(task.type))
+      .set("source", source)
+      .set("deadline_s", static_cast<double>(task.deadline))
+      .set("work_s", task.work_s);
 }
 
 void SimulationEngine::process_failures(SimTime now, SlotIndex slot) {
@@ -125,6 +154,9 @@ void SimulationEngine::process_failures(SimTime now, SlotIndex slot) {
   std::erase_if(pending_recoveries_, [&](const NodeFailureEvent& e) {
     if (e.recover_at > now) return false;
     power_.recover_node(e.node, now, slot);
+    if (trace_events())
+      recorder_->event("node_repair", static_cast<double>(now))
+          .set("node", static_cast<std::uint64_t>(e.node));
     return true;
   });
   const auto& events = config_.node_failures;
@@ -135,6 +167,10 @@ void SimulationEngine::process_failures(SimTime now, SlotIndex slot) {
              "failure event names unknown node " << e.node);
     power_.fail_node(e.node, now);
     ++nodes_failed_;
+    if (trace_events())
+      recorder_->event("node_fail", static_cast<double>(now))
+          .set("node", static_cast<std::uint64_t>(e.node))
+          .set("recover_at_s", static_cast<double>(e.recover_at));
     if (e.recover_at > e.fail_at) pending_recoveries_.push_back(e);
     // Re-replication: one repair task per group the node hosted.
     for (storage::GroupId g : cluster_.placement().groups_on(e.node)) {
@@ -151,6 +187,7 @@ void SimulationEngine::process_failures(SimTime now, SlotIndex slot) {
       p.task.group = g;
       p.remaining_s = p.task.work_s;
       p.policy_tag = policy_->admit(p.task);
+      if (trace_events()) trace_task_admit(p.task, now, "repair");
       pending_.push_back(p);
     }
   }
@@ -202,6 +239,7 @@ SlotContext SimulationEngine::make_context(SlotIndex slot, SimTime start,
 
 std::vector<std::size_t> SimulationEngine::assign_tasks(
     const SlotDecision& decision, SimTime now, Joules& migration_j) {
+  GM_OBS_SCOPE("engine.assign_tasks");
   std::unordered_set<storage::TaskId> chosen(decision.run_tasks.begin(),
                                              decision.run_tasks.end());
 
@@ -289,6 +327,7 @@ std::vector<std::size_t> SimulationEngine::assign_tasks(
 
 void SimulationEngine::route_requests(SlotIndex slot, SimTime start,
                                       SimTime end) {
+  GM_OBS_SCOPE("engine.route_requests");
   const storage::NodeWaker waker = [&](storage::GroupId group,
                                        SimTime now) -> SimTime {
     return power_.force_wake_for_group(group, now, slot);
@@ -357,6 +396,9 @@ void SimulationEngine::inject_task(const storage::BackgroundTask& task,
   p.task = task;
   p.remaining_s = remaining_s;
   p.policy_tag = policy_->admit(p.task);
+  if (trace_events())
+    trace_task_admit(p.task, next_slot_ * config_.slot_length_s,
+                     "federation");
   pending_.push_back(p);
   ++tasks_admitted_;
 }
@@ -366,6 +408,11 @@ void SimulationEngine::run_slot(SlotIndex slot) {
   GM_CHECK(slot == next_slot_, "slots must run consecutively: expected "
                                    << next_slot_ << ", got " << slot);
   ++next_slot_;
+
+  // Make this engine's recorder visible to GM_OBS_SCOPE timers in the
+  // policy, planner, power manager and router for the slot's duration.
+  obs::ScopedRecorder obs_install(recorder_.get());
+  GM_OBS_SCOPE("engine.run_slot");
 
   const SimTime slot_len = config_.slot_length_s;
   const auto workload_slots =
@@ -393,7 +440,11 @@ void SimulationEngine::run_slot(SlotIndex slot) {
 
     // 2. Policy decision.
     const SlotContext ctx = make_context(slot, start, end);
-    SlotDecision decision = policy_->decide(ctx);
+    SlotDecision decision;
+    {
+      GM_OBS_SCOPE("policy.decide");
+      decision = policy_->decide(ctx);
+    }
 
     // 3. Power management. The engine recomputes the floor the
     //    foreground demand imposes so a broken policy cannot starve it.
@@ -403,8 +454,11 @@ void SimulationEngine::run_slot(SlotIndex slot) {
     const int target =
         std::max({decision.target_active_nodes, fg_floor,
                   power_.min_feasible()});
-    const PowerManager::Transition tr =
-        power_.apply_target(slot, target, start);
+    PowerManager::Transition tr;
+    {
+      GM_OBS_SCOPE("power.apply_target");
+      tr = power_.apply_target(slot, target, start);
+    }
     power_ons_ += tr.powered_on;
     power_offs_ += tr.powered_off;
 
@@ -432,10 +486,19 @@ void SimulationEngine::run_slot(SlotIndex slot) {
       if (p.remaining_s <= 1e-9) {
         const SimTime completion = start + static_cast<SimTime>(wall);
         ++tasks_completed_;
-        if (completion > p.task.deadline) ++deadline_misses_;
+        const bool missed = completion > p.task.deadline;
+        if (missed) ++deadline_misses_;
         sojourn_hours_sum_ +=
             s_to_hours(static_cast<double>(completion - p.task.release));
         p.remaining_s = 0.0;
+        if (trace_events())
+          recorder_->event("task_complete",
+                           static_cast<double>(completion))
+              .set("task", static_cast<std::uint64_t>(p.task.id))
+              .set("missed", missed)
+              .set("sojourn_h",
+                   s_to_hours(static_cast<double>(completion -
+                                                  p.task.release)));
       }
     }
     // 4b. MAID disk power management: on active nodes hosting no
@@ -537,6 +600,37 @@ void SimulationEngine::run_slot(SlotIndex slot) {
     artifacts.active_nodes_per_slot.push_back(active_count);
     artifacts.task_util_per_slot.push_back(task_util_eff);
     artifacts.fg_util_per_slot.push_back(fg);
+
+    if (recorder_) {
+      obs::SlotSample sample;
+      sample.slot = static_cast<std::int64_t>(slot);
+      sample.start_s = static_cast<double>(start);
+      sample.end_s = static_cast<double>(end);
+      sample.green_supply_j = supply_j;
+      sample.green_direct_j = green_direct;
+      sample.battery_in_j = charged;
+      sample.battery_out_j = discharged;
+      sample.brown_j = brown;
+      sample.curtailed_j = surplus - charged;
+      sample.demand_j = demand_j;
+      sample.battery_soc_j = battery_.stored_j();
+      sample.active_nodes = active_count;
+      sample.pending_depth =
+          static_cast<std::int64_t>(pending_.size());
+      sample.tasks_running = static_cast<std::int64_t>(running.size());
+      sample.target_active_nodes = decision.target_active_nodes;
+      sample.run_set_size =
+          static_cast<std::int64_t>(decision.run_tasks.size());
+      sample.eco_speed = decision.eco_speed;
+      const std::uint64_t wakeups = router_.stats().forced_wakeups;
+      sample.forced_wakeups =
+          static_cast<std::int64_t>(wakeups - last_forced_wakeups_);
+      last_forced_wakeups_ = wakeups;
+      sample.node_failures =
+          static_cast<std::int64_t>(nodes_failed_ - last_nodes_failed_);
+      last_nodes_failed_ = nodes_failed_;
+      recorder_->record_slot(sample);
+    }
   }
 }
 
@@ -552,6 +646,11 @@ RunArtifacts SimulationEngine::finalize() {
   const SimTime final_time =
       static_cast<SimTime>(artifacts.ledger.size()) * slot_len;
   active_nodes_tw_.advance_to(final_time);
+  if (trace_events())
+    for (const auto& p : pending_)
+      recorder_->event("task_miss", static_cast<double>(final_time))
+          .set("task", static_cast<std::uint64_t>(p.task.id))
+          .set("remaining_s", p.remaining_s);
 
   // --- assemble the result -----------------------------------------
   metrics::RunResult& r = artifacts.result;
@@ -598,6 +697,36 @@ RunArtifacts SimulationEngine::finalize() {
   r.scheduler.mean_active_nodes = active_nodes_tw_.time_average();
   if (const auto* gm = dynamic_cast<const GreenMatchPolicy*>(policy_.get()))
     r.scheduler.plan_solve_ms_total = gm->solve_ms_total();
+
+  if (recorder_) {
+    auto& m = recorder_->metrics();
+    m.counter_set("run.tasks_admitted", tasks_admitted_);
+    m.counter_set("run.tasks_completed", tasks_completed_);
+    m.counter_set("run.deadline_misses", deadline_misses_);
+    m.counter_set("run.task_migrations", migrations_);
+    m.counter_set("run.node_power_ons", power_ons_);
+    m.counter_set("run.node_power_offs", power_offs_);
+    m.counter_set("run.forced_urgent_runs", forced_urgent_);
+    m.counter_set("run.assignment_failures", assignment_failures_);
+    m.counter_set("run.nodes_failed", nodes_failed_);
+    m.counter_set("run.forced_wakeups", router_.stats().forced_wakeups);
+    m.counter_set("run.foreground_requests", router_.stats().requests);
+    m.counter_set("run.offloaded_writes",
+                  router_.stats().offloaded_writes);
+    m.gauge_set("run.brown_kwh", r.brown_kwh());
+    m.gauge_set("run.green_supply_kwh", r.green_supply_kwh());
+    m.gauge_set("run.curtailed_kwh", r.curtailed_kwh());
+    m.gauge_set("run.demand_kwh", r.demand_kwh());
+    m.gauge_set("run.green_utilization", r.energy.green_utilization());
+    m.gauge_set("run.grid_carbon_g", r.grid_carbon_g);
+    m.gauge_set("run.grid_cost_usd", r.grid_cost_usd);
+    m.gauge_set("run.mean_active_nodes", r.scheduler.mean_active_nodes);
+    m.gauge_set("run.plan_solve_ms_total",
+                r.scheduler.plan_solve_ms_total);
+    m.gauge_set("run.read_latency_p95_s", r.qos.read_latency_p95_s);
+    m.gauge_set("run.battery_equivalent_cycles",
+                r.battery.equivalent_cycles);
+  }
   return std::move(artifacts_);
 }
 
@@ -607,8 +736,9 @@ RunArtifacts SimulationEngine::run() {
   return finalize();
 }
 
-RunArtifacts run_experiment(const ExperimentConfig& config) {
-  SimulationEngine engine(config);
+RunArtifacts run_experiment(const ExperimentConfig& config,
+                            std::shared_ptr<obs::Recorder> recorder) {
+  SimulationEngine engine(config, std::move(recorder));
   return engine.run();
 }
 

@@ -27,6 +27,7 @@
 #include "energy/grid.hpp"
 #include "energy/ledger.hpp"
 #include "metrics/report.hpp"
+#include "obs/recorder.hpp"
 #include "sim/simulator.hpp"
 #include "storage/cluster.hpp"
 #include "storage/router.hpp"
@@ -44,7 +45,15 @@ struct RunArtifacts {
 
 class SimulationEngine {
  public:
-  explicit SimulationEngine(const ExperimentConfig& config);
+  /// `recorder` is the optional observability handle (trace, metrics,
+  /// phase profile — see obs/recorder.hpp). The default null recorder
+  /// keeps the hot path free of instrumentation cost; a non-null one
+  /// gets the run manifest written at construction and per-slot
+  /// telemetry during the run. Observability never alters simulation
+  /// behavior: a run with a recorder is bit-identical to one without.
+  explicit SimulationEngine(const ExperimentConfig& config,
+                            std::shared_ptr<obs::Recorder> recorder =
+                                nullptr);
 
   /// Runs to completion (workload + drain) and returns the artifacts.
   RunArtifacts run();
@@ -83,6 +92,7 @@ class SimulationEngine {
   const workload::Workload& workload() const { return *workload_; }
   const storage::Cluster& cluster() const { return cluster_; }
   const energy::PowerSource& supply() const { return *supply_; }
+  obs::Recorder* recorder() const { return recorder_.get(); }
 
  private:
   struct TaskState {
@@ -92,6 +102,9 @@ class SimulationEngine {
   };
 
   void admit_released_tasks(SimTime now);
+  /// Emits a task_admit trace event (caller checks trace_events()).
+  void trace_task_admit(const storage::BackgroundTask& task, SimTime now,
+                        const char* source);
   /// Applies configured node failures/recoveries due by `now`; failed
   /// nodes spawn one repair task per placement group they hosted.
   void process_failures(SimTime now, SlotIndex slot);
@@ -104,7 +117,14 @@ class SimulationEngine {
                                         SimTime now, Joules& migration_j);
   void route_requests(SlotIndex slot, SimTime start, SimTime end);
 
+  /// True when discrete trace events (task admit/complete, node
+  /// fail/repair) should be emitted — recorder present and tracing.
+  bool trace_events() const {
+    return recorder_ && recorder_->tracing();
+  }
+
   ExperimentConfig config_;
+  std::shared_ptr<obs::Recorder> recorder_;
   storage::Cluster cluster_;
   std::shared_ptr<const workload::Workload> workload_;
   std::shared_ptr<const energy::PowerSource> supply_;
@@ -145,12 +165,17 @@ class SimulationEngine {
   SlotIndex next_slot_ = 0;
   RunArtifacts artifacts_;
   std::size_t next_failure_index_ = 0;
+  // Previous-slot snapshots for per-slot deltas in the trace.
+  std::uint64_t last_forced_wakeups_ = 0;
+  std::uint64_t last_nodes_failed_ = 0;
   std::vector<NodeFailureEvent> pending_recoveries_;
   storage::TaskId next_repair_task_id_ = 2'000'000'000ULL;
   sim::TimeWeighted active_nodes_tw_;
 };
 
 /// Convenience wrapper: construct, run, return artifacts.
-RunArtifacts run_experiment(const ExperimentConfig& config);
+RunArtifacts run_experiment(const ExperimentConfig& config,
+                            std::shared_ptr<obs::Recorder> recorder =
+                                nullptr);
 
 }  // namespace gm::core

@@ -4,6 +4,7 @@
 
 #include "core/mincost_flow.hpp"
 #include "core/policies.hpp"
+#include "obs/recorder.hpp"
 #include "util/assert.hpp"
 #include "util/math_utils.hpp"
 
@@ -163,6 +164,7 @@ std::vector<Joules> GreenMatchPolicy::project_battery(
 //   G_j → sink                (green production of slot j)
 //   slot_j → sink             (grid, cost kBrownUnitCost)
 SlotDecision GreenMatchPolicy::plan_flow(const SlotContext& ctx) {
+  GM_OBS_SCOPE("policy.plan_flow");
   const auto t0 = std::chrono::steady_clock::now();
   const auto horizon = static_cast<std::size_t>(
       std::min<std::size_t>(horizon_, ctx.green_forecast_w.size()));
@@ -312,6 +314,7 @@ SlotDecision GreenMatchPolicy::plan_flow(const SlotContext& ctx) {
 }
 
 SlotDecision GreenMatchPolicy::plan_greedy(const SlotContext& ctx) {
+  GM_OBS_SCOPE("policy.plan_greedy");
   const auto t0 = std::chrono::steady_clock::now();
   const auto horizon = static_cast<std::size_t>(
       std::min<std::size_t>(horizon_, ctx.green_forecast_w.size()));

@@ -4,6 +4,7 @@
 #include <climits>
 #include <queue>
 
+#include "obs/recorder.hpp"
 #include "util/assert.hpp"
 
 namespace gm::core {
@@ -30,6 +31,7 @@ int MinCostFlow::add_edge(NodeIdx from, NodeIdx to, long long capacity,
 
 MinCostFlow::Result MinCostFlow::solve(NodeIdx s, NodeIdx t,
                                        long long max_flow) {
+  GM_OBS_SCOPE("planner.mincostflow.solve");
   GM_CHECK(s >= 0 && s < node_count() && t >= 0 && t < node_count(),
            "flow terminal out of range");
   GM_CHECK(s != t, "source equals sink");

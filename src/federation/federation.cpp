@@ -55,8 +55,9 @@ std::uint64_t FederationResult::total_deadline_misses() const {
   return total;
 }
 
-FederationEngine::FederationEngine(const FederationConfig& config)
-    : config_(config) {
+FederationEngine::FederationEngine(const FederationConfig& config,
+                                   std::shared_ptr<obs::Recorder> recorder)
+    : config_(config), recorder_(std::move(recorder)) {
   config_.validate();
   engines_.reserve(config_.sites.size());
   for (const auto& site : config_.sites)
@@ -146,6 +147,12 @@ void FederationEngine::broker_slot(SlotIndex slot, SimTime now) {
     task.group = static_cast<storage::GroupId>(
         mix_hash(task.id, 0xfed) % dest_groups);
     task.id = next_moved_task_id_++;
+    if (recorder_)
+      recorder_->event("transfer", static_cast<double>(now))
+          .set("task", static_cast<std::uint64_t>(task.id))
+          .set("from", config_.sites[worst].name)
+          .set("to", config_.sites[best].name)
+          .set("remaining_s", p.remaining_s);
     engines_[best]->inject_task(task, p.remaining_s);
     ++tasks_moved_;
   }
@@ -171,6 +178,12 @@ FederationResult FederationEngine::run() {
   for (std::size_t i = 0; i < engines_.size(); ++i)
     result.sites.push_back(SiteResult{
         config_.sites[i].name, engines_[i]->finalize().result});
+  if (recorder_) {
+    auto& m = recorder_->metrics();
+    m.counter_set("federation.tasks_moved", tasks_moved_);
+    m.gauge_set("federation.wan_kwh", j_to_kwh(result.wan_energy_j));
+    m.gauge_set("federation.total_brown_kwh", result.total_brown_kwh());
+  }
   return result;
 }
 

@@ -69,7 +69,15 @@ struct FederationResult {
 
 class FederationEngine {
  public:
-  explicit FederationEngine(const FederationConfig& config);
+  /// `recorder` is the optional observability handle (shared across
+  /// the federation, not the per-site engines): the broker emits one
+  /// `transfer` trace event per moved task and federation-level
+  /// counters into the registry. Sites keep null recorders so slot
+  /// records stay unambiguous; pass site-specific recorders through
+  /// per-site SimulationEngine construction for that.
+  explicit FederationEngine(const FederationConfig& config,
+                            std::shared_ptr<obs::Recorder> recorder =
+                                nullptr);
 
   FederationResult run();
 
@@ -88,6 +96,7 @@ class FederationEngine {
   void broker_slot(SlotIndex slot, SimTime now);
 
   FederationConfig config_;
+  std::shared_ptr<obs::Recorder> recorder_;
   std::vector<std::unique_ptr<core::SimulationEngine>> engines_;
   std::uint64_t tasks_moved_ = 0;
   storage::TaskId next_moved_task_id_ = 3'000'000'000ULL;

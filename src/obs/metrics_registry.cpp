@@ -1,0 +1,153 @@
+#include "obs/metrics_registry.hpp"
+
+#include <limits>
+#include <ostream>
+
+namespace gm::obs {
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; dotted registry names
+/// map onto that with '_' and get a library prefix.
+std::string prom_name(const std::string& name) {
+  std::string out = "gm_";
+  out.reserve(name.size() + 3);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+/// Mean of a histogram bin, used to approximate the _sum series (the
+/// histogram itself only stores counts).
+double bin_mid(const sim::Histogram& h, std::size_t i) {
+  const double width =
+      (h.bin_hi() - h.bin_lo()) / static_cast<double>(h.bin_count());
+  return h.bin_lo() + (static_cast<double>(i) + 0.5) * width;
+}
+
+}  // namespace
+
+void MetricsRegistry::counter_add(const std::string& name,
+                                  std::uint64_t delta) {
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::counter_set(const std::string& name,
+                                  std::uint64_t value) {
+  counters_[name] = value;
+}
+
+void MetricsRegistry::gauge_set(const std::string& name, double value) {
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::observe(const std::string& name, double value) {
+  accumulators_[name].add(value);
+}
+
+sim::Histogram& MetricsRegistry::histogram(const std::string& name,
+                                           double lo, double hi,
+                                           std::size_t bins) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_
+             .emplace(std::piecewise_construct,
+                      std::forward_as_tuple(name),
+                      std::forward_as_tuple(lo, hi, bins))
+             .first;
+  return it->second;
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+const sim::Accumulator* MetricsRegistry::accumulator(
+    const std::string& name) const {
+  const auto it = accumulators_.find(name);
+  return it == accumulators_.end() ? nullptr : &it->second;
+}
+
+const sim::Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::write_csv(std::ostream& out) const {
+  const auto prev = out.precision(
+      std::numeric_limits<double>::max_digits10);
+  out << "metric,kind,field,value\n";
+  for (const auto& [name, v] : counters_)
+    out << name << ",counter,value," << v << '\n';
+  for (const auto& [name, v] : gauges_)
+    out << name << ",gauge,value," << v << '\n';
+  for (const auto& [name, a] : accumulators_) {
+    out << name << ",summary,count," << a.count() << '\n';
+    out << name << ",summary,sum," << a.sum() << '\n';
+    out << name << ",summary,mean," << a.mean() << '\n';
+    out << name << ",summary,min," << a.min() << '\n';
+    out << name << ",summary,max," << a.max() << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    out << name << ",histogram,count," << h.count() << '\n';
+    out << name << ",histogram,underflow," << h.underflow() << '\n';
+    for (std::size_t i = 0; i < h.bin_count(); ++i)
+      out << name << ",histogram,bin" << i << ',' << h.bin(i) << '\n';
+    out << name << ",histogram,overflow," << h.overflow() << '\n';
+  }
+  out.precision(prev);
+}
+
+void MetricsRegistry::write_prometheus(std::ostream& out) const {
+  const auto prev = out.precision(
+      std::numeric_limits<double>::max_digits10);
+  for (const auto& [name, v] : counters_) {
+    const std::string p = prom_name(name);
+    out << "# TYPE " << p << " counter\n" << p << ' ' << v << '\n';
+  }
+  for (const auto& [name, v] : gauges_) {
+    const std::string p = prom_name(name);
+    out << "# TYPE " << p << " gauge\n" << p << ' ' << v << '\n';
+  }
+  for (const auto& [name, a] : accumulators_) {
+    const std::string p = prom_name(name);
+    out << "# TYPE " << p << " summary\n";
+    out << p << "_count " << a.count() << '\n';
+    out << p << "_sum " << a.sum() << '\n';
+    out << p << "_min " << a.min() << '\n';
+    out << p << "_max " << a.max() << '\n';
+    out << p << "_mean " << a.mean() << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string p = prom_name(name);
+    out << "# TYPE " << p << " histogram\n";
+    std::uint64_t cumulative = h.underflow();
+    double approx_sum = h.bin_lo() * static_cast<double>(h.underflow());
+    const double width = (h.bin_hi() - h.bin_lo()) /
+                         static_cast<double>(h.bin_count());
+    for (std::size_t i = 0; i < h.bin_count(); ++i) {
+      cumulative += h.bin(i);
+      approx_sum += bin_mid(h, i) * static_cast<double>(h.bin(i));
+      out << p << "_bucket{le=\""
+          << h.bin_lo() + static_cast<double>(i + 1) * width << "\"} "
+          << cumulative << '\n';
+    }
+    approx_sum += h.bin_hi() * static_cast<double>(h.overflow());
+    out << p << "_bucket{le=\"+Inf\"} " << h.count() << '\n';
+    out << p << "_count " << h.count() << '\n';
+    out << p << "_sum " << approx_sum << '\n';
+  }
+  out.precision(prev);
+}
+
+}  // namespace gm::obs

@@ -1,0 +1,64 @@
+#pragma once
+// Named-metric registry: monotonic counters, gauges, accumulators
+// (count/mean/min/max summaries) and fixed-bin histograms, looked up
+// by dotted name ("engine.tasks_completed"). Reuses the sim::
+// statistics types so a registry histogram behaves exactly like the
+// router's latency histogram.
+//
+// Two exporters cover the consumers we have today: CSV (one metric per
+// row, for spreadsheets and plots) and Prometheus text exposition
+// (written to a file; a node-exporter-style scrape of simulation runs).
+// The exporter is chosen by file extension in obs::Recorder: ".csv"
+// gets CSV, everything else the Prometheus format.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "sim/stats.hpp"
+
+namespace gm::obs {
+
+class MetricsRegistry {
+ public:
+  // --- writes --------------------------------------------------------
+  void counter_add(const std::string& name, std::uint64_t delta = 1);
+  void counter_set(const std::string& name, std::uint64_t value);
+  void gauge_set(const std::string& name, double value);
+  /// Adds a sample to the named accumulator (created on first use).
+  void observe(const std::string& name, double value);
+  /// Returns the named histogram, creating it with the given bin
+  /// layout on first use (later calls ignore the layout arguments).
+  sim::Histogram& histogram(const std::string& name, double lo,
+                            double hi, std::size_t bins);
+
+  // --- reads ---------------------------------------------------------
+  std::uint64_t counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+  const sim::Accumulator* accumulator(const std::string& name) const;
+  const sim::Histogram* find_histogram(const std::string& name) const;
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() &&
+           accumulators_.empty() && histograms_.empty();
+  }
+
+  // --- exporters -----------------------------------------------------
+  /// CSV: header `metric,kind,field,value`, one row per exported
+  /// scalar (a histogram exports one row per bucket).
+  void write_csv(std::ostream& out) const;
+  /// Prometheus text exposition: names are sanitized (dots and dashes
+  /// become underscores) and prefixed `gm_`; accumulators export
+  /// _count/_sum/_min/_max/_mean series, histograms cumulative
+  /// `_bucket{le=...}` series plus _count and _sum.
+  void write_prometheus(std::ostream& out) const;
+
+ private:
+  // std::map keeps export order deterministic across runs.
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, sim::Accumulator> accumulators_;
+  std::map<std::string, sim::Histogram> histograms_;
+};
+
+}  // namespace gm::obs

@@ -1,0 +1,40 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace gm::obs {
+
+void PhaseProfiler::record(const std::string& phase,
+                           double duration_ns) {
+  PhaseStats& s = phases_[phase];
+  ++s.calls;
+  s.total_ns += duration_ns;
+  s.max_ns = std::max(s.max_ns, duration_ns);
+}
+
+std::vector<std::pair<std::string, PhaseStats>>
+PhaseProfiler::sorted_by_total() const {
+  std::vector<std::pair<std::string, PhaseStats>> out(phases_.begin(),
+                                                      phases_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second.total_ns != b.second.total_ns)
+      return a.second.total_ns > b.second.total_ns;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+void PhaseProfiler::print_table(std::ostream& out) const {
+  TextTable table({"phase", "calls", "total ms", "mean us", "max us"});
+  for (const auto& [name, s] : sorted_by_total())
+    table.add_row({name, std::to_string(s.calls),
+                   TextTable::num(s.total_ms(), 3),
+                   TextTable::num(s.mean_us(), 1),
+                   TextTable::num(s.max_ns / 1e3, 1)});
+  table.print(out);
+}
+
+}  // namespace gm::obs

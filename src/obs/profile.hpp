@@ -1,0 +1,49 @@
+#pragma once
+// Per-phase wall-clock profiling. Hot paths mark themselves with
+// GM_OBS_SCOPE("policy.decide") (see obs/recorder.hpp for the macro);
+// each scope's duration is aggregated here into call count / total /
+// max per phase name, and the run ends with one profile table.
+//
+// Phase names are expected to be string literals (they are stored by
+// value only once, on first sight).
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gm::obs {
+
+struct PhaseStats {
+  std::uint64_t calls = 0;
+  double total_ns = 0.0;
+  double max_ns = 0.0;
+
+  double total_ms() const { return total_ns / 1e6; }
+  double mean_us() const {
+    return calls ? total_ns / 1e3 / static_cast<double>(calls) : 0.0;
+  }
+};
+
+class PhaseProfiler {
+ public:
+  void record(const std::string& phase, double duration_ns);
+
+  const std::map<std::string, PhaseStats>& phases() const {
+    return phases_;
+  }
+  bool empty() const { return phases_.empty(); }
+
+  /// Phases sorted by total time, descending (ties by name).
+  std::vector<std::pair<std::string, PhaseStats>> sorted_by_total()
+      const;
+
+  /// Aligned table: phase | calls | total ms | mean us | max us.
+  void print_table(std::ostream& out) const;
+
+ private:
+  std::map<std::string, PhaseStats> phases_;
+};
+
+}  // namespace gm::obs

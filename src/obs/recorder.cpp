@@ -1,0 +1,190 @@
+#include "obs/recorder.hpp"
+
+#include <ctime>
+#include <fstream>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+#include "util/units.hpp"
+
+namespace gm::obs {
+
+namespace {
+
+/// `run.jsonl` → `run.manifest.json`; paths without an extension get
+/// `.manifest.json` appended.
+std::string derive_manifest_path(const RecorderConfig& config) {
+  const std::string& base = !config.trace_path.empty()
+                                ? config.trace_path
+                                : config.metrics_path;
+  if (base.empty()) return {};
+  const auto slash = base.find_last_of('/');
+  const auto dot = base.find_last_of('.');
+  const std::string stem =
+      (dot != std::string::npos &&
+       (slash == std::string::npos || dot > slash))
+          ? base.substr(0, dot)
+          : base;
+  return stem + ".manifest.json";
+}
+
+std::string utc_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+Recorder::Recorder(RecorderConfig config) : config_(std::move(config)) {
+  if (config_.manifest_path.empty())
+    config_.manifest_path = derive_manifest_path(config_);
+  if (!config_.trace_path.empty())
+    trace_ = std::make_unique<TraceWriter>(config_.trace_path);
+}
+
+Recorder::~Recorder() {
+  try {
+    finish();
+  } catch (const std::exception& e) {
+    GM_LOG_ERROR("obs::Recorder::finish failed: " << e.what());
+  }
+}
+
+Recorder::EventBuilder::EventBuilder(Recorder* recorder,
+                                     const char* kind, double t)
+    : recorder_(recorder) {
+  if (recorder_) record_.set("kind", kind).set("t", t);
+}
+
+Recorder::EventBuilder::~EventBuilder() {
+  if (recorder_ && recorder_->trace_) recorder_->trace_->emit(record_);
+}
+
+Recorder::EventBuilder Recorder::event(const char* kind, double t) {
+  metrics_.counter_add(std::string("events.") + kind);
+  return EventBuilder(trace_ ? this : nullptr, kind, t);
+}
+
+void Recorder::record_slot(const SlotSample& s) {
+  metrics_.counter_add("slots_total");
+  metrics_.observe("slot.demand_kwh", j_to_kwh(s.demand_j));
+  metrics_.observe("slot.green_supply_kwh", j_to_kwh(s.green_supply_j));
+  metrics_.observe("slot.brown_kwh", j_to_kwh(s.brown_j));
+  metrics_.observe("slot.curtailed_kwh", j_to_kwh(s.curtailed_j));
+  metrics_.observe("slot.pending_depth",
+                   static_cast<double>(s.pending_depth));
+  metrics_.observe("slot.active_nodes",
+                   static_cast<double>(s.active_nodes));
+  metrics_.observe("slot.tasks_running",
+                   static_cast<double>(s.tasks_running));
+  metrics_.gauge_set("slot.battery_soc_kwh", j_to_kwh(s.battery_soc_j));
+  if (!trace_) return;
+
+  JsonObject record;
+  record.set("kind", "slot")
+      .set("slot", s.slot)
+      .set("start_s", s.start_s)
+      .set("end_s", s.end_s)
+      .set("green_supply_j", s.green_supply_j)
+      .set("green_direct_j", s.green_direct_j)
+      .set("battery_in_j", s.battery_in_j)
+      .set("battery_out_j", s.battery_out_j)
+      .set("brown_j", s.brown_j)
+      .set("curtailed_j", s.curtailed_j)
+      .set("demand_j", s.demand_j)
+      .set("battery_soc_j", s.battery_soc_j)
+      .set("active_nodes", s.active_nodes)
+      .set("pending_depth", s.pending_depth)
+      .set("tasks_running", s.tasks_running)
+      .set("target_active_nodes", s.target_active_nodes)
+      .set("run_set_size", s.run_set_size)
+      .set("eco_speed", s.eco_speed)
+      .set("forced_wakeups", s.forced_wakeups)
+      .set("node_failures", s.node_failures);
+  trace_->emit(record);
+}
+
+void Recorder::write_manifest(const ManifestInfo& info) {
+  if (config_.manifest_path.empty()) return;
+  std::ofstream out(config_.manifest_path);
+  if (!out)
+    throw RuntimeError("cannot open manifest file for writing: " +
+                       config_.manifest_path);
+  out << "{\n";
+  out << "  \"kind\": \"gm-run-manifest\",\n";
+  out << "  \"written_at\": \"" << utc_timestamp() << "\",\n";
+  out << "  \"policy\": \"" << json_escape(info.policy_name) << "\",\n";
+  out << "  \"seeds\": {\"workload\": " << info.workload_seed
+      << ", \"solar\": " << info.solar_seed
+      << ", \"policy\": " << info.policy_seed << "},\n";
+  out << "  \"slot_grid\": {\"slot_length_s\": " << info.slot_length_s
+      << ", \"total_slots\": " << info.total_slots << "},\n";
+  out << "  \"build\": {\"compiler\": \"" << json_escape(__VERSION__)
+      << "\", \"cplusplus\": " << __cplusplus << ", \"optimized\": "
+#ifdef NDEBUG
+      << "true"
+#else
+      << "false"
+#endif
+      << "},\n";
+  out << "  \"artifacts\": {\"trace\": \""
+      << json_escape(config_.trace_path) << "\", \"metrics\": \""
+      << json_escape(config_.metrics_path) << "\"},\n";
+  out << "  \"config\": {";
+  bool first = true;
+  for (const auto& [key, value] : info.config_echo) {
+    if (!first) out << ',';
+    out << "\n    \"" << json_escape(key) << "\": \""
+        << json_escape(value) << "\"";
+    first = false;
+  }
+  out << "\n  }\n}\n";
+}
+
+void Recorder::finish() {
+  if (finished_) return;
+  finished_ = true;
+
+  for (const auto& [name, stats] : profiler_.phases())
+    metrics_.observe("phase_ms." + name, stats.total_ms());
+  if (trace_) {
+    for (const auto& [name, stats] : profiler_.sorted_by_total()) {
+      JsonObject record;
+      record.set("kind", "phase")
+          .set("phase", name)
+          .set("calls", stats.calls)
+          .set("total_ms", stats.total_ms())
+          .set("mean_us", stats.mean_us())
+          .set("max_us", stats.max_ns / 1e3);
+      trace_->emit(record);
+    }
+    JsonObject end;
+    end.set("kind", "run_end")
+        .set("trace_records", trace_->records_written() + 1)
+        .set("slots", metrics_.counter("slots_total"));
+    trace_->emit(end);
+    trace_->flush();
+  }
+
+  if (!config_.metrics_path.empty()) {
+    std::ofstream out(config_.metrics_path);
+    if (!out)
+      throw RuntimeError("cannot open metrics file for writing: " +
+                         config_.metrics_path);
+    if (ends_with(config_.metrics_path, ".csv"))
+      metrics_.write_csv(out);
+    else
+      metrics_.write_prometheus(out);
+  }
+}
+
+}  // namespace gm::obs

@@ -1,0 +1,220 @@
+#pragma once
+// obs::Recorder — the one observability handle a simulation run holds.
+// Bundles the three concerns behind a single object so call sites stay
+// one-liner cheap:
+//
+//   - structured JSONL tracing (obs/trace.hpp): per-slot records plus
+//     discrete events (task admit/complete/miss, node fail/repair,
+//     federation transfers);
+//   - the metrics registry (obs/metrics_registry.hpp), exported at
+//     finish() to CSV or Prometheus text depending on file extension;
+//   - phase profiling (obs/profile.hpp) via GM_OBS_SCOPE, activated by
+//     installing the recorder into a thread-local slot for the
+//     duration of a slot step (ScopedRecorder).
+//
+// A null recorder (engines default to none) costs one pointer test on
+// the slot path and one thread-local read per GM_OBS_SCOPE — measured
+// well under the 2% overhead budget (docs/observability.md).
+//
+// Alongside every trace/metrics file the recorder writes a *run
+// manifest*: the full config echo, RNG seeds, slot grid, build flags
+// and wall-clock, so any bench row is reproducible from its artifacts.
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics_registry.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+
+namespace gm::obs {
+
+struct RecorderConfig {
+  /// JSONL trace output; empty disables tracing.
+  std::string trace_path;
+  /// Metrics export written at finish(); ".csv" selects the CSV
+  /// exporter, anything else Prometheus text. Empty disables.
+  std::string metrics_path;
+  /// Run manifest; empty derives `<trace-or-metrics stem>.manifest.json`.
+  std::string manifest_path;
+  /// Enables GM_OBS_SCOPE phase timing.
+  bool profile = false;
+
+  bool any_enabled() const {
+    return !trace_path.empty() || !metrics_path.empty() ||
+           !manifest_path.empty() || profile;
+  }
+};
+
+/// One per-slot telemetry sample, filled by the engine after the
+/// slot's energy balance settles. All energies in joules.
+struct SlotSample {
+  std::int64_t slot = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double green_supply_j = 0.0;
+  double green_direct_j = 0.0;
+  double battery_in_j = 0.0;   ///< source-side energy drawn into ESD
+  double battery_out_j = 0.0;  ///< energy delivered by ESD
+  double brown_j = 0.0;
+  double curtailed_j = 0.0;
+  double demand_j = 0.0;
+  double battery_soc_j = 0.0;  ///< state of charge at slot end
+  int active_nodes = 0;
+  std::int64_t pending_depth = 0;  ///< pool size after the slot
+  std::int64_t tasks_running = 0;  ///< tasks that executed this slot
+  // Policy decision summary.
+  int target_active_nodes = 0;
+  std::int64_t run_set_size = 0;   ///< tasks the policy asked to run
+  bool eco_speed = false;
+  // Per-slot deltas of event counters.
+  std::int64_t forced_wakeups = 0;
+  std::int64_t node_failures = 0;
+};
+
+/// What the manifest records about a run besides the config echo.
+struct ManifestInfo {
+  std::vector<std::pair<std::string, std::string>> config_echo;
+  std::string policy_name;
+  std::uint64_t workload_seed = 0;
+  std::uint64_t solar_seed = 0;
+  std::uint64_t policy_seed = 0;
+  double slot_length_s = 0.0;
+  std::int64_t total_slots = 0;
+};
+
+class Recorder {
+ public:
+  explicit Recorder(RecorderConfig config);
+  ~Recorder();
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  bool tracing() const { return trace_ != nullptr; }
+  bool profiling() const { return config_.profile; }
+
+  /// Fluent one-line event: emits on destruction of the builder.
+  ///   recorder.event("task_admit", now).set("task", id);
+  /// Counts every event kind into the registry even when the JSONL
+  /// trace is disabled.
+  class EventBuilder {
+   public:
+    EventBuilder(Recorder* recorder, const char* kind, double t);
+    ~EventBuilder();
+    EventBuilder(EventBuilder&& other) noexcept
+        : recorder_(other.recorder_), record_(std::move(other.record_)) {
+      other.recorder_ = nullptr;
+    }
+    EventBuilder(const EventBuilder&) = delete;
+    EventBuilder& operator=(const EventBuilder&) = delete;
+    EventBuilder& operator=(EventBuilder&&) = delete;
+
+    template <typename V>
+    EventBuilder& set(const std::string& key, V value) {
+      if (recorder_) record_.set(key, value);
+      return *this;
+    }
+
+   private:
+    Recorder* recorder_;  ///< null when tracing is off
+    JsonObject record_;
+  };
+
+  EventBuilder event(const char* kind, double t);
+
+  /// Appends the per-slot record to the trace and feeds the registry's
+  /// slot-level series.
+  void record_slot(const SlotSample& sample);
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  PhaseProfiler& profiler() { return profiler_; }
+  const PhaseProfiler& profiler() const { return profiler_; }
+
+  /// Writes the manifest file (call once, at engine construction, so
+  /// even an aborted run leaves its reproduction recipe on disk).
+  void write_manifest(const ManifestInfo& info);
+
+  /// Flushes everything: phase aggregates and a run_end marker into
+  /// the trace, the metrics export to its file. Idempotent; also runs
+  /// from the destructor.
+  void finish();
+
+  const RecorderConfig& config() const { return config_; }
+  std::uint64_t trace_records() const {
+    return trace_ ? trace_->records_written() : 0;
+  }
+
+ private:
+  RecorderConfig config_;
+  std::unique_ptr<TraceWriter> trace_;
+  MetricsRegistry metrics_;
+  PhaseProfiler profiler_;
+  bool finished_ = false;
+};
+
+// --- thread-local installation for GM_OBS_SCOPE ------------------------
+// The engine installs its recorder around each slot step; phase timers
+// anywhere below (policy, planner, router) find it without plumbing.
+
+namespace detail {
+inline thread_local Recorder* tl_recorder = nullptr;
+}
+
+inline Recorder* current_recorder() { return detail::tl_recorder; }
+
+class ScopedRecorder {
+ public:
+  explicit ScopedRecorder(Recorder* recorder)
+      : prev_(detail::tl_recorder) {
+    detail::tl_recorder = recorder;
+  }
+  ~ScopedRecorder() { detail::tl_recorder = prev_; }
+  ScopedRecorder(const ScopedRecorder&) = delete;
+  ScopedRecorder& operator=(const ScopedRecorder&) = delete;
+
+ private:
+  Recorder* prev_;
+};
+
+/// RAII phase timer behind GM_OBS_SCOPE. Inert (two loads, one
+/// branch) unless a profiling recorder is installed on this thread.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(const char* name) {
+    Recorder* r = current_recorder();
+    if (r && r->profiling()) {
+      recorder_ = r;
+      name_ = name;
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~PhaseTimer() {
+    if (recorder_)
+      recorder_->profiler().record(
+          name_, static_cast<double>(
+                     std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count()));
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  Recorder* recorder_ = nullptr;
+  const char* name_ = nullptr;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace gm::obs
+
+#define GM_OBS_CONCAT_INNER(a, b) a##b
+#define GM_OBS_CONCAT(a, b) GM_OBS_CONCAT_INNER(a, b)
+/// Times the enclosing scope under `name` when a profiling recorder is
+/// installed on this thread; otherwise costs one thread-local read.
+#define GM_OBS_SCOPE(name) \
+  ::gm::obs::PhaseTimer GM_OBS_CONCAT(gm_obs_scope_, __LINE__)(name)

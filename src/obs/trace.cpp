@@ -1,0 +1,201 @@
+#include "obs/trace.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace gm::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonObject::key(const std::string& k) {
+  if (!body_.empty()) body_.push_back(',');
+  body_.push_back('"');
+  body_ += json_escape(k);
+  body_ += "\":";
+}
+
+JsonObject& JsonObject::set(const std::string& k, const std::string& v) {
+  key(k);
+  body_.push_back('"');
+  body_ += json_escape(v);
+  body_.push_back('"');
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& k, double v) {
+  key(k);
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  body_ += os.str();
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& k, std::uint64_t v) {
+  key(k);
+  body_ += std::to_string(v);
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& k, std::int64_t v) {
+  key(k);
+  body_ += std::to_string(v);
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& k, bool v) {
+  key(k);
+  body_ += v ? "true" : "false";
+  return *this;
+}
+
+std::string JsonObject::str() const { return "{" + body_ + "}"; }
+
+TraceWriter::TraceWriter(const std::string& path)
+    : path_(path), out_(path) {
+  if (!out_)
+    throw RuntimeError("cannot open trace file for writing: " + path);
+}
+
+void TraceWriter::emit(const JsonObject& record) {
+  out_ << record.str() << '\n';
+  ++records_;
+}
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& line, const char* why) {
+  throw RuntimeError(std::string("malformed trace line (") + why +
+                     "): " + line);
+}
+
+void skip_ws(const std::string& s, std::size_t& i) {
+  while (i < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[i])))
+    ++i;
+}
+
+/// Parses a JSON string starting at the opening quote; returns the
+/// unescaped value and leaves `i` past the closing quote.
+std::string parse_string(const std::string& s, std::size_t& i) {
+  ++i;  // opening quote
+  std::string out;
+  while (i < s.size() && s[i] != '"') {
+    char c = s[i++];
+    if (c == '\\') {
+      if (i >= s.size()) break;
+      const char e = s[i++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (i + 4 > s.size()) malformed(s, "truncated \\u escape");
+          const unsigned code = static_cast<unsigned>(
+              std::stoul(s.substr(i, 4), nullptr, 16));
+          i += 4;
+          // Flat traces only escape control characters, so a single
+          // byte is always enough here.
+          out.push_back(static_cast<char>(code & 0xFF));
+          break;
+        }
+        default: out.push_back(e);
+      }
+    } else {
+      out.push_back(c);
+    }
+  }
+  if (i >= s.size()) malformed(s, "unterminated string");
+  ++i;  // closing quote
+  return out;
+}
+
+}  // namespace
+
+FlatRecord parse_flat_json(const std::string& line) {
+  FlatRecord out;
+  std::size_t i = 0;
+  skip_ws(line, i);
+  if (i >= line.size() || line[i] != '{') malformed(line, "no '{'");
+  ++i;
+  skip_ws(line, i);
+  if (i < line.size() && line[i] == '}') return out;  // empty object
+  while (true) {
+    skip_ws(line, i);
+    if (i >= line.size() || line[i] != '"')
+      malformed(line, "expected key");
+    const std::string k = parse_string(line, i);
+    skip_ws(line, i);
+    if (i >= line.size() || line[i] != ':')
+      malformed(line, "expected ':'");
+    ++i;
+    skip_ws(line, i);
+    if (i >= line.size()) malformed(line, "missing value");
+    if (line[i] == '"') {
+      out[k] = parse_string(line, i);
+    } else if (line[i] == '{' || line[i] == '[') {
+      malformed(line, "nested values are not part of the flat schema");
+    } else {
+      // Number / true / false / null: take the literal token.
+      const std::size_t start = i;
+      while (i < line.size() && line[i] != ',' && line[i] != '}' &&
+             !std::isspace(static_cast<unsigned char>(line[i])))
+        ++i;
+      out[k] = line.substr(start, i - start);
+    }
+    skip_ws(line, i);
+    if (i >= line.size()) malformed(line, "unterminated object");
+    if (line[i] == '}') break;
+    if (line[i] != ',') malformed(line, "expected ',' or '}'");
+    ++i;
+  }
+  return out;
+}
+
+double record_num(const FlatRecord& r, const std::string& key,
+                  double fallback) {
+  const auto it = r.find(key);
+  if (it == r.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+std::string record_str(const FlatRecord& r, const std::string& key,
+                       const std::string& fallback) {
+  const auto it = r.find(key);
+  return it == r.end() ? fallback : it->second;
+}
+
+}  // namespace gm::obs

@@ -1,0 +1,85 @@
+#pragma once
+// Structured run tracing: one JSON object per line (JSONL), one line
+// per emitted record. Records are *flat* — string/number/bool values
+// only, no nesting — which keeps both the emitter and the bundled
+// parser trivial while remaining consumable by jq/pandas/DuckDB.
+//
+// Every record carries a "kind" field. The simulation emits:
+//   kind=slot       one per simulated slot (energy balance, pool depth,
+//                   decision summary)
+//   kind=task_admit / task_complete / task_miss
+//   kind=node_fail / node_repair
+//   kind=transfer   federation broker moved a task between sites
+//   kind=phase      per-phase profile aggregate (at finish)
+//   kind=run_end    final totals marker
+// The schema of each kind is documented in docs/observability.md.
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <string>
+
+namespace gm::obs {
+
+/// Builder for one flat JSON object, rendered as a single line.
+/// Key order is preserved (insertion order) for readable traces.
+class JsonObject {
+ public:
+  JsonObject& set(const std::string& key, const std::string& value);
+  JsonObject& set(const std::string& key, const char* value) {
+    return set(key, std::string(value));
+  }
+  JsonObject& set(const std::string& key, double value);
+  JsonObject& set(const std::string& key, std::uint64_t value);
+  JsonObject& set(const std::string& key, std::int64_t value);
+  JsonObject& set(const std::string& key, int value) {
+    return set(key, static_cast<std::int64_t>(value));
+  }
+  JsonObject& set(const std::string& key, bool value);
+
+  /// Renders `{"k":v,...}` (no trailing newline).
+  std::string str() const;
+  bool empty() const { return body_.empty(); }
+
+ private:
+  void key(const std::string& k);
+  std::string body_;  ///< comma-joined `"k":v` pairs
+};
+
+/// Escapes a string for inclusion in JSON (quotes not included).
+std::string json_escape(const std::string& s);
+
+/// Streaming JSONL writer. Lines are written eagerly; the destructor
+/// flushes. Throws gm::RuntimeError if the file cannot be opened.
+class TraceWriter {
+ public:
+  explicit TraceWriter(const std::string& path);
+
+  void emit(const JsonObject& record);
+  std::uint64_t records_written() const { return records_; }
+  const std::string& path() const { return path_; }
+  void flush() { out_.flush(); }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::uint64_t records_ = 0;
+};
+
+// --- reading -----------------------------------------------------------
+// Parsed view of one flat record: key → raw value. String values are
+// unescaped; numbers and booleans keep their literal spelling, so
+// consumers convert with the helpers below.
+using FlatRecord = std::map<std::string, std::string>;
+
+/// Parses one flat JSON line (as produced by JsonObject). Throws
+/// gm::RuntimeError on malformed input or nested structures.
+FlatRecord parse_flat_json(const std::string& line);
+
+/// Field accessors with defaults (missing key → default).
+double record_num(const FlatRecord& r, const std::string& key,
+                  double fallback = 0.0);
+std::string record_str(const FlatRecord& r, const std::string& key,
+                       const std::string& fallback = "");
+
+}  // namespace gm::obs

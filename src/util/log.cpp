@@ -21,7 +21,13 @@ Logger& Logger::instance() {
   return logger;
 }
 
+void Logger::set_sink(std::ostream* sink) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = sink;
+}
+
 void Logger::write(LogLevel level, const std::string& message) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   std::ostream& out = sink_ ? *sink_ : std::cerr;
   out << '[' << log_level_name(level) << "] " << message << '\n';
 }

@@ -3,6 +3,8 @@
 // than writing to std::cerr directly so tests can silence or capture
 // output and bench binaries stay clean.
 
+#include <atomic>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -12,24 +14,31 @@ enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
 const char* log_level_name(LogLevel level);
 
-/// Global logger configuration (process-wide; simulation is
-/// single-threaded per run, sweeps log only at Warn+).
+/// Global logger configuration (process-wide). Thread-safe: the level
+/// is atomic (the hot `enabled` check stays lock-free) and sink writes
+/// are serialized under a mutex so concurrent runs never interleave
+/// mid-line.
 class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
-  bool enabled(LogLevel level) const { return level >= level_; }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const {
+    return level_.load(std::memory_order_relaxed);
+  }
+  bool enabled(LogLevel level) const { return level >= this->level(); }
 
   /// Redirect output (nullptr restores stderr).
-  void set_sink(std::ostream* sink) { sink_ = sink; }
+  void set_sink(std::ostream* sink);
 
   void write(LogLevel level, const std::string& message);
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  std::mutex mutex_;  ///< guards sink_ and output interleaving
   std::ostream* sink_ = nullptr;
 };
 

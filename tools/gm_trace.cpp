@@ -1,0 +1,216 @@
+// gm_trace — summarize a structured JSONL trace written by
+// greenmatch_sim/greenmatch_sweep `--trace=FILE`.
+//
+//   gm_trace <trace.jsonl> [--top=N] [--slots]
+//
+// Prints:
+//   - run overview (records, slots, horizon, energy totals, and the
+//     residual of the ledger conservation identity as a sanity check);
+//   - per-day energy balance table (per-slot with --slots);
+//   - event counts by kind;
+//   - top-N phases by total time (from the kind=phase aggregates the
+//     recorder appends at finish; requires the run used --profile).
+//
+// The schema is documented in docs/observability.md; the parser is the
+// bundled flat-JSON reader, so this tool works on any trace the
+// simulator can produce, with no third-party dependencies.
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using gm::obs::FlatRecord;
+using gm::obs::record_num;
+using gm::obs::record_str;
+
+struct EnergyBucket {
+  std::int64_t slots = 0;
+  double demand_j = 0.0;
+  double green_supply_j = 0.0;
+  double green_direct_j = 0.0;
+  double battery_in_j = 0.0;
+  double battery_out_j = 0.0;
+  double brown_j = 0.0;
+  double curtailed_j = 0.0;
+  std::int64_t forced_wakeups = 0;
+  double active_node_slots = 0.0;
+
+  void add(const FlatRecord& r) {
+    ++slots;
+    demand_j += record_num(r, "demand_j");
+    green_supply_j += record_num(r, "green_supply_j");
+    green_direct_j += record_num(r, "green_direct_j");
+    battery_in_j += record_num(r, "battery_in_j");
+    battery_out_j += record_num(r, "battery_out_j");
+    brown_j += record_num(r, "brown_j");
+    curtailed_j += record_num(r, "curtailed_j");
+    forced_wakeups +=
+        static_cast<std::int64_t>(record_num(r, "forced_wakeups"));
+    active_node_slots += record_num(r, "active_nodes");
+  }
+};
+
+void print_energy_table(
+    const std::vector<std::pair<std::string, EnergyBucket>>& rows,
+    const std::string& label, std::ostream& out) {
+  gm::TextTable table({label, "demand kWh", "green kWh", "direct kWh",
+                       "batt in", "batt out", "brown kWh", "curtailed",
+                       "nodes", "wakeups"});
+  for (const auto& [name, b] : rows) {
+    const double mean_nodes =
+        b.slots > 0 ? b.active_node_slots / static_cast<double>(b.slots)
+                    : 0.0;
+    table.add_row({name, gm::TextTable::num(gm::j_to_kwh(b.demand_j)),
+                   gm::TextTable::num(gm::j_to_kwh(b.green_supply_j)),
+                   gm::TextTable::num(gm::j_to_kwh(b.green_direct_j)),
+                   gm::TextTable::num(gm::j_to_kwh(b.battery_in_j)),
+                   gm::TextTable::num(gm::j_to_kwh(b.battery_out_j)),
+                   gm::TextTable::num(gm::j_to_kwh(b.brown_j)),
+                   gm::TextTable::num(gm::j_to_kwh(b.curtailed_j)),
+                   gm::TextTable::num(mean_nodes, 1),
+                   std::to_string(b.forced_wakeups)});
+  }
+  table.print(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  int top = 10;
+  bool per_slot = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: gm_trace <trace.jsonl> [--top=N] [--slots]\n";
+      return 0;
+    }
+    if (arg == "--slots") {
+      per_slot = true;
+      continue;
+    }
+    if (arg.rfind("--top=", 0) == 0) {
+      top = std::stoi(arg.substr(std::strlen("--top=")));
+      continue;
+    }
+    if (path.empty()) {
+      path = arg;
+    } else {
+      std::cerr << "error: unexpected argument '" << arg << "'\n";
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::cerr << "usage: gm_trace <trace.jsonl> [--top=N] [--slots]\n";
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot open trace file: " << path << '\n';
+    return 1;
+  }
+
+  try {
+    EnergyBucket total;
+    std::map<std::int64_t, EnergyBucket> days;
+    std::vector<std::pair<std::string, EnergyBucket>> slot_rows;
+    std::map<std::string, std::uint64_t> event_counts;
+    std::vector<FlatRecord> phases;
+    double horizon_s = 0.0;
+    double conservation_residual_j = 0.0;
+    std::uint64_t records = 0;
+
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      const FlatRecord r = gm::obs::parse_flat_json(line);
+      ++records;
+      const std::string kind = record_str(r, "kind");
+      if (kind == "slot") {
+        total.add(r);
+        const double start = record_num(r, "start_s");
+        days[static_cast<std::int64_t>(start / 86400.0)].add(r);
+        if (per_slot) {
+          EnergyBucket one;
+          one.add(r);
+          slot_rows.emplace_back(record_str(r, "slot"), one);
+        }
+        horizon_s = std::max(horizon_s, record_num(r, "end_s"));
+        // demand = green_direct + battery_out + brown (ledger identity)
+        conservation_residual_j += std::fabs(
+            record_num(r, "demand_j") -
+            (record_num(r, "green_direct_j") +
+             record_num(r, "battery_out_j") + record_num(r, "brown_j")));
+      } else if (kind == "phase") {
+        phases.push_back(r);
+      } else if (kind != "run_end") {
+        ++event_counts[kind];
+      }
+    }
+
+    std::cout << "trace: " << path << '\n'
+              << "records: " << records << "  slots: " << total.slots
+              << "  horizon: "
+              << gm::TextTable::num(horizon_s / 86400.0, 2) << " days\n"
+              << "demand: "
+              << gm::TextTable::num(gm::j_to_kwh(total.demand_j))
+              << " kWh  brown: "
+              << gm::TextTable::num(gm::j_to_kwh(total.brown_j))
+              << " kWh  curtailed: "
+              << gm::TextTable::num(gm::j_to_kwh(total.curtailed_j))
+              << " kWh\n"
+              << "conservation residual: "
+              << gm::TextTable::num(
+                     gm::j_to_kwh(conservation_residual_j), 6)
+              << " kWh\n\n";
+
+    if (per_slot) {
+      print_energy_table(slot_rows, "slot", std::cout);
+    } else {
+      std::vector<std::pair<std::string, EnergyBucket>> day_rows;
+      for (const auto& [day, bucket] : days)
+        day_rows.emplace_back("day " + std::to_string(day), bucket);
+      print_energy_table(day_rows, "period", std::cout);
+    }
+
+    if (!event_counts.empty()) {
+      std::cout << '\n';
+      gm::TextTable events({"event", "count"});
+      for (const auto& [kind, count] : event_counts)
+        events.add_row({kind, std::to_string(count)});
+      events.print(std::cout);
+    }
+
+    if (!phases.empty()) {
+      std::cout << "\ntop phases by total time:\n";
+      gm::TextTable table(
+          {"phase", "calls", "total ms", "mean us", "max us"});
+      int shown = 0;
+      for (const auto& r : phases) {
+        if (shown++ >= top) break;
+        table.add_row(
+            {record_str(r, "phase"),
+             gm::TextTable::num(record_num(r, "calls"), 0),
+             gm::TextTable::num(record_num(r, "total_ms")),
+             gm::TextTable::num(record_num(r, "mean_us")),
+             gm::TextTable::num(record_num(r, "max_us"))});
+      }
+      table.print(std::cout);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,29 +1,46 @@
 // greenmatch_sim — the experiment-runner CLI.
 //
-//   greenmatch_sim [config-file] [key=value ...] [--slots] [--help]
+//   greenmatch_sim [config-file] [key=value ...] [--slots]
+//                  [--trace=FILE] [--metrics=FILE] [--manifest=FILE]
+//                  [--profile] [--help]
 //
 // Runs one simulation from canonical defaults + the optional config
 // file + any key=value overrides (same key space as the file format),
 // then prints the run summary. `--slots` additionally emits the
 // per-slot energy ledger as CSV on stdout.
 //
+// Observability (docs/observability.md):
+//   --trace=FILE    structured JSONL trace (one record per slot plus
+//                   discrete events); a run manifest is written next
+//                   to it as FILE stem + .manifest.json
+//   --metrics=FILE  metrics registry export; .csv selects CSV,
+//                   anything else Prometheus text exposition
+//   --manifest=FILE explicit manifest path (overrides derivation)
+//   --profile       GM_OBS_SCOPE phase timing; prints a table
+//
 // Examples:
 //   greenmatch_sim policy.kind=asap battery.kwh=40
 //   greenmatch_sim experiment.conf sim.fidelity=event --slots
+//   greenmatch_sim configs/canonical_week.conf --trace=run.jsonl \
+//       --metrics=run.prom --profile
 
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "core/config_io.hpp"
 #include "core/engine.hpp"
+#include "obs/recorder.hpp"
 #include "util/csv.hpp"
 
 namespace {
 
 void print_usage() {
   std::cout <<
-      "usage: greenmatch_sim [config-file] [key=value ...] [--slots]\n\n"
+      "usage: greenmatch_sim [config-file] [key=value ...] [--slots]\n"
+      "                      [--trace=FILE] [--metrics=FILE]\n"
+      "                      [--manifest=FILE] [--profile]\n\n"
       "Runs one GreenMatch simulation. Configuration keys:\n\n"
       << gm::core::config_keys_help();
 }
@@ -61,6 +78,7 @@ int main(int argc, char** argv) {
   bool emit_slots = false;
   std::string config_path;
   gm::KeyValueConfig overrides;
+  gm::obs::RecorderConfig obs_config;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -72,10 +90,26 @@ int main(int argc, char** argv) {
       emit_slots = true;
       continue;
     }
+    if (arg == "--profile") {
+      obs_config.profile = true;
+      continue;
+    }
+    if (arg.rfind("--trace=", 0) == 0) {
+      obs_config.trace_path = arg.substr(std::strlen("--trace="));
+      continue;
+    }
+    if (arg.rfind("--metrics=", 0) == 0) {
+      obs_config.metrics_path = arg.substr(std::strlen("--metrics="));
+      continue;
+    }
+    if (arg.rfind("--manifest=", 0) == 0) {
+      obs_config.manifest_path = arg.substr(std::strlen("--manifest="));
+      continue;
+    }
     const auto eq = arg.find('=');
-    if (eq != std::string::npos) {
+    if (eq != std::string::npos && arg.rfind("--", 0) != 0) {
       overrides.set(arg.substr(0, eq), arg.substr(eq + 1));
-    } else if (config_path.empty()) {
+    } else if (eq == std::string::npos && config_path.empty()) {
       config_path = arg;
     } else {
       std::cerr << "error: unexpected argument '" << arg << "'\n";
@@ -91,12 +125,23 @@ int main(int argc, char** argv) {
           config, gm::KeyValueConfig::load_file(config_path));
     gm::core::apply_config(config, overrides);
 
+    std::shared_ptr<gm::obs::Recorder> recorder;
+    if (obs_config.any_enabled())
+      recorder = std::make_shared<gm::obs::Recorder>(obs_config);
+
     const gm::core::RunArtifacts artifacts =
-        gm::core::run_experiment(config);
+        gm::core::run_experiment(config, recorder);
     artifacts.result.print_summary(std::cout);
     if (emit_slots) {
       std::cout << '\n';
       print_slot_csv(artifacts);
+    }
+    if (recorder) {
+      recorder->finish();
+      if (recorder->config().profile) {
+        std::cout << '\n';
+        recorder->profiler().print_table(std::cout);
+      }
     }
     return 0;
   } catch (const std::exception& e) {

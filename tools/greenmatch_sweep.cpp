@@ -1,20 +1,30 @@
 // greenmatch_sweep — one-dimensional parameter sweeps from the CLI.
 //
 //   greenmatch_sweep <key> <v1,v2,...> [config-file] [key=value ...]
+//                    [--trace=FILE] [--metrics=FILE] [--profile]
 //
 // Runs one simulation per value of <key> (same key space as the config
 // files) and prints a comparison table plus csv: lines. Example:
 //
 //   greenmatch_sweep battery.kwh 0,20,40,80 policy.kind=greenmatch
 //   greenmatch_sweep policy.kind asap,opportunistic,greenmatch
+//
+// Observability: --trace / --metrics name *base* files; each sweep
+// point writes to the base with the point's value spliced in before
+// the extension (run.jsonl -> run.asap.jsonl). --profile prints one
+// phase-timing table per point.
 
+#include <cctype>
+#include <cstring>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/config_io.hpp"
 #include "core/engine.hpp"
+#include "obs/recorder.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -25,6 +35,24 @@ std::vector<std::string> split_values(const std::string& csv) {
   std::string item;
   while (std::getline(in, item, ',')) out.push_back(item);
   return out;
+}
+
+/// run.jsonl + "asap" -> run.asap.jsonl (value sanitized for paths).
+std::string per_value_path(const std::string& base,
+                           const std::string& value) {
+  if (base.empty()) return base;
+  std::string tag;
+  for (char c : value)
+    tag += (std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+            c == '.')
+               ? c
+               : '_';
+  const auto dot = base.rfind('.');
+  const auto slash = base.rfind('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash))
+    return base + "." + tag;
+  return base.substr(0, dot) + "." + tag + base.substr(dot);
 }
 
 }  // namespace
@@ -45,12 +73,26 @@ int main(int argc, char** argv) {
 
   std::string config_path;
   gm::KeyValueConfig overrides;
+  std::string trace_base, metrics_base;
+  bool profile = false;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg == "--profile") {
+      profile = true;
+      continue;
+    }
+    if (arg.rfind("--trace=", 0) == 0) {
+      trace_base = arg.substr(std::strlen("--trace="));
+      continue;
+    }
+    if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_base = arg.substr(std::strlen("--metrics="));
+      continue;
+    }
     const auto eq = arg.find('=');
-    if (eq != std::string::npos)
+    if (eq != std::string::npos && arg.rfind("--", 0) != 0)
       overrides.set(arg.substr(0, eq), arg.substr(eq + 1));
-    else if (config_path.empty())
+    else if (eq == std::string::npos && config_path.empty())
       config_path = arg;
     else {
       std::cerr << "error: unexpected argument '" << arg << "'\n";
@@ -72,7 +114,15 @@ int main(int argc, char** argv) {
       point.set(sweep_key, value);
       gm::core::apply_config(config, point);
 
-      const auto r = gm::core::run_experiment(config).result;
+      std::shared_ptr<gm::obs::Recorder> recorder;
+      gm::obs::RecorderConfig obs_config;
+      obs_config.trace_path = per_value_path(trace_base, value);
+      obs_config.metrics_path = per_value_path(metrics_base, value);
+      obs_config.profile = profile;
+      if (obs_config.any_enabled())
+        recorder = std::make_shared<gm::obs::Recorder>(obs_config);
+
+      const auto r = gm::core::run_experiment(config, recorder).result;
       table.add_row({value, gm::TextTable::num(r.brown_kwh()),
                      gm::TextTable::percent(r.energy.green_utilization()),
                      gm::TextTable::num(r.curtailed_kwh()),
@@ -81,6 +131,14 @@ int main(int argc, char** argv) {
                                         1)});
       std::cout << "csv:" << value << ',' << r.brown_kwh() << ','
                 << r.energy.green_utilization() << '\n';
+      if (recorder) {
+        recorder->finish();
+        if (profile) {
+          std::cout << "\nphases for " << sweep_key << '=' << value
+                    << ":\n";
+          recorder->profiler().print_table(std::cout);
+        }
+      }
     }
     table.print(std::cout);
     return 0;
