@@ -3,14 +3,24 @@
 // no-argument executable that prints its exhibit as an aligned table
 // (and a `csv:`-prefixed machine-readable block) so `for b in
 // build/bench/*; do $b; done` regenerates the whole evaluation.
+//
+// Sweep-shaped benches fan their independent simulations out on a
+// process-wide gm::ThreadPool (run_sweep / parallel_map below);
+// results land by index, so the printed exhibit is byte-identical to
+// a serial run.
 
+#include <cstddef>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/engine.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gm::bench {
 
@@ -26,13 +36,25 @@ inline constexpr double kSufficientPanelM2 = 320.0;
 /// The "insufficient solar" size used by fig6–fig8 (supply < demand).
 inline constexpr double kInsufficientPanelM2 = 120.0;
 
+/// Process-wide pool for bench sweeps, sized to the machine. Shared so
+/// every helper reuses the same workers instead of spawning per sweep.
+inline ThreadPool& bench_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
 /// Generates (once) and caches the workload trace for a spec, so a
-/// sweep of N runs does not regenerate N identical traces.
+/// sweep of N runs does not regenerate N identical traces. The mutex
+/// makes the cache safe under run_sweep's fan-out; generation happens
+/// under the lock so concurrent points block on the first generator
+/// instead of racing to fill the slot.
 inline std::shared_ptr<const workload::Workload> shared_workload(
     const workload::WorkloadSpec& spec, std::uint32_t group_count) {
+  static std::mutex mutex;
   static std::map<std::pair<std::uint64_t, std::uint32_t>,
                   std::shared_ptr<const workload::Workload>>
       cache;
+  std::lock_guard lock(mutex);
   const auto key = std::make_pair(spec.fingerprint(), group_count);
   auto& slot = cache[key];
   if (!slot)
@@ -51,6 +73,25 @@ inline void use_shared_workload(core::ExperimentConfig& config) {
 inline metrics::RunResult run(core::ExperimentConfig config) {
   use_shared_workload(config);
   return core::run_experiment(config).result;
+}
+
+/// Generic indexed parallel map on the bench pool: out[i] = fn(i).
+/// Results are collected by index, so printing in input order is
+/// deterministic regardless of which worker finished first.
+template <typename R, typename Fn>
+std::vector<R> parallel_map(std::size_t n, Fn&& fn) {
+  std::vector<R> out(n);
+  parallel_for(bench_pool(), n,
+               [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+/// Runs one independent simulation per config on the bench pool and
+/// returns the results in config order.
+inline std::vector<metrics::RunResult> run_sweep(
+    const std::vector<core::ExperimentConfig>& configs) {
+  return parallel_map<metrics::RunResult>(
+      configs.size(), [&](std::size_t i) { return run(configs[i]); });
 }
 
 inline void print_header(const std::string& exhibit,

@@ -14,14 +14,22 @@ int main() {
   TextTable t({"area m²", "supply/demand", "brown kWh", "brown %",
                "curtailed kWh"});
   double zero_brown_area = -1.0;
-  for (double area : {0.0, 40.0, 80.0, 120.0, 160.0, 200.0, 240.0,
-                      280.0, 320.0, 400.0, 480.0}) {
+  const std::vector<double> areas{0.0,   40.0,  80.0,  120.0,
+                                  160.0, 200.0, 240.0, 280.0,
+                                  320.0, 400.0, 480.0};
+  std::vector<core::ExperimentConfig> configs;
+  for (double area : areas) {
     auto config = bench::canonical_config();
     config.policy.kind = core::PolicyKind::kAsap;
     config.panel_area_m2 = area;
     // "Infinite" ideal battery: far larger than weekly demand.
     config.battery = energy::BatteryConfig::ideal(kwh_to_j(100000.0));
-    const auto r = bench::run(config);
+    configs.push_back(config);
+  }
+  const auto results = bench::run_sweep(configs);
+  for (std::size_t i = 0; i < areas.size(); ++i) {
+    const double area = areas[i];
+    const auto& r = results[i];
     const double ratio =
         r.energy.demand_j > 0
             ? r.energy.green_supply_j / r.energy.demand_j

@@ -16,10 +16,12 @@ int main() {
   TextTable t({"battery kWh", "brown asap kWh", "brown greenmatch kWh",
                "LI volume L", "LA volume L"});
   double zero_asap = -1, zero_gm = -1;
-  for (double kwh : {0.0, 10.0, 20.0, 40.0, 60.0, 80.0, 100.0, 110.0,
-                     120.0, 130.0, 140.0, 150.0, 160.0}) {
-    double brown[2];
-    int i = 0;
+  const std::vector<double> sizes{0.0,   10.0,  20.0,  40.0,  60.0,
+                                  80.0,  100.0, 110.0, 120.0, 130.0,
+                                  140.0, 150.0, 160.0};
+  // Two configs per size (asap, greenmatch), flattened for the pool.
+  std::vector<core::ExperimentConfig> configs;
+  for (double kwh : sizes) {
     for (auto kind :
          {core::PolicyKind::kAsap, core::PolicyKind::kGreenMatch}) {
       auto config = bench::canonical_config();
@@ -27,8 +29,14 @@ int main() {
       config.battery = energy::BatteryConfig::lithium_ion(kwh_to_j(kwh));
       config.battery.initial_soc_fraction = 0.5;  // no cold-start bias
       config.policy.kind = kind;
-      brown[i++] = bench::run(config).brown_kwh();
+      configs.push_back(config);
     }
+  }
+  const auto results = bench::run_sweep(configs);
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    const double kwh = sizes[s];
+    const double brown[2] = {results[2 * s].brown_kwh(),
+                             results[2 * s + 1].brown_kwh()};
     const auto li = energy::BatteryConfig::lithium_ion(kwh_to_j(kwh));
     const auto la = energy::BatteryConfig::lead_acid(kwh_to_j(kwh));
     t.add_row({bench::fmt(kwh, 0), bench::fmt(brown[0]),

@@ -32,9 +32,9 @@ int main() {
   for (const auto& p : policies) headers.push_back(p.label);
   TextTable t(headers);
 
+  // size × policy grid, flattened row-major for the pool.
+  std::vector<core::ExperimentConfig> configs;
   for (double kwh : sizes) {
-    std::vector<std::string> row{bench::fmt(kwh, 0)};
-    std::vector<std::string> csv{bench::fmt(kwh, 0)};
     for (const auto& p : policies) {
       auto config = bench::canonical_config();
       config.panel_area_m2 = bench::kInsufficientPanelM2;
@@ -42,7 +42,18 @@ int main() {
           energy::BatteryConfig::lithium_ion(kwh_to_j(kwh));
       config.policy.kind = p.kind;
       config.policy.deferral_fraction = p.deferral;
-      const double brown = bench::run(config).brown_kwh();
+      configs.push_back(config);
+    }
+  }
+  const auto results = bench::run_sweep(configs);
+
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    const double kwh = sizes[s];
+    std::vector<std::string> row{bench::fmt(kwh, 0)};
+    std::vector<std::string> csv{bench::fmt(kwh, 0)};
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      const double brown =
+          results[s * policies.size() + p].brown_kwh();
       row.push_back(bench::fmt(brown));
       csv.push_back(bench::fmt(brown, 4));
     }

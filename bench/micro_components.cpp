@@ -127,6 +127,21 @@ void BM_ObsScopeDisabled(benchmark::State& state) {
 }
 BENCHMARK(BM_ObsScopeDisabled);
 
+// Cost of GM_OBS_SCOPE when a profiling recorder *is* installed.
+// Guards the heterogeneous-lookup fast path in PhaseProfiler::record:
+// a steady-state hit must not construct a std::string per call.
+void BM_ObsScopeProfiled(benchmark::State& state) {
+  obs::RecorderConfig config;
+  config.profile = true;
+  obs::Recorder recorder(config);
+  obs::ScopedRecorder install(&recorder);
+  for (auto _ : state) {
+    GM_OBS_SCOPE("bench.profiled");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsScopeProfiled);
+
 void BM_SolarPower(benchmark::State& state) {
   energy::SolarConfig config;
   config.horizon_days = 14;

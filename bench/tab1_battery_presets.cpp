@@ -44,22 +44,33 @@ int main() {
                "drain):\n";
   TextTable rt({"technology", "accepted kWh", "delivered kWh",
                 "round-trip eff", "conv. loss kWh"});
-  for (const auto& config : {la, li}) {
-    energy::Battery b(config);
+  struct RoundTrip {
     Joules accepted = 0.0;
-    for (int h = 0; h < 8; ++h)
-      accepted += b.charge(kwh_to_j(90.0 / 8), 3600.0);
     Joules delivered = 0.0;
-    for (int h = 0; h < 24; ++h)
-      delivered += b.discharge(kwh_to_j(90), 3600.0);
-    rt.add_row({energy::battery_technology_name(config.technology),
-                bench::fmt(j_to_kwh(accepted)),
-                bench::fmt(j_to_kwh(delivered)),
-                bench::fmt(delivered / accepted, 3),
-                bench::fmt(j_to_kwh(b.conversion_loss_j()))});
-    bench::csv_row({energy::battery_technology_name(config.technology),
-                    bench::fmt(j_to_kwh(accepted), 4),
-                    bench::fmt(j_to_kwh(delivered), 4)});
+    Joules loss = 0.0;
+  };
+  const std::vector<energy::BatteryConfig> techs{la, li};
+  const auto trips = bench::parallel_map<RoundTrip>(
+      techs.size(), [&](std::size_t i) {
+        energy::Battery b(techs[i]);
+        RoundTrip trip;
+        for (int h = 0; h < 8; ++h)
+          trip.accepted += b.charge(kwh_to_j(90.0 / 8), 3600.0);
+        for (int h = 0; h < 24; ++h)
+          trip.delivered += b.discharge(kwh_to_j(90), 3600.0);
+        trip.loss = b.conversion_loss_j();
+        return trip;
+      });
+  for (std::size_t i = 0; i < techs.size(); ++i) {
+    const auto& trip = trips[i];
+    const auto name =
+        energy::battery_technology_name(techs[i].technology);
+    rt.add_row({name, bench::fmt(j_to_kwh(trip.accepted)),
+                bench::fmt(j_to_kwh(trip.delivered)),
+                bench::fmt(trip.delivered / trip.accepted, 3),
+                bench::fmt(j_to_kwh(trip.loss))});
+    bench::csv_row({name, bench::fmt(j_to_kwh(trip.accepted), 4),
+                    bench::fmt(j_to_kwh(trip.delivered), 4)});
   }
   rt.print(std::cout);
   return 0;

@@ -27,6 +27,8 @@ int main() {
 
   TextTable t({"mix", "policy", "brown kWh", "green util", "misses",
                "p95 ms", "migr", "cycles", "wakeups", "plan ms"});
+  // mix × policy grid, flattened row-major for the pool.
+  std::vector<core::ExperimentConfig> configs;
   for (const auto& mix : mixes) {
     for (auto kind : kinds) {
       auto config = bench::canonical_config();
@@ -36,7 +38,14 @@ int main() {
       config.policy.kind = kind;
       config.policy.deferral_fraction = 1.0;
       config.fidelity = core::Fidelity::kEventLevel;
-      const auto r = bench::run(config);
+      configs.push_back(config);
+    }
+  }
+  const auto results = bench::run_sweep(configs);
+  for (std::size_t m = 0; m < mixes.size(); ++m) {
+    const auto& mix = mixes[m];
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      const auto& r = results[m * kinds.size() + k];
       t.add_row({mix.name, r.scheduler.policy_name,
                  bench::fmt(r.brown_kwh()),
                  TextTable::percent(r.energy.green_utilization()),

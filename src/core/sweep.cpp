@@ -1,0 +1,98 @@
+#include "core/sweep.hpp"
+
+#include <cctype>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "core/config_io.hpp"
+#include "core/engine.hpp"
+#include "obs/recorder.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gm::core {
+
+std::string per_value_path(const std::string& base, std::size_t index,
+                           const std::string& value) {
+  if (base.empty()) return base;
+  std::string tag = std::to_string(index) + "-";
+  for (char c : value)
+    tag += (std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+            c == '.')
+               ? c
+               : '_';
+  const auto dot = base.rfind('.');
+  const auto slash = base.rfind('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash))
+    return base + "." + tag;
+  return base.substr(0, dot) + "." + tag + base.substr(dot);
+}
+
+std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
+  // Validate every point's config up front, serially: a bad sweep
+  // value fails the whole sweep before any engine runs.
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(spec.values.size());
+  for (const auto& value : spec.values) {
+    ExperimentConfig config = spec.base;
+    KeyValueConfig point;
+    point.set(spec.key, value);
+    apply_config(config, point);
+    configs.push_back(std::move(config));
+  }
+
+  std::vector<SweepPoint> points(spec.values.size());
+  ThreadPool pool(spec.jobs);
+  parallel_for(pool, points.size(), [&](std::size_t i) {
+    SweepPoint& point = points[i];
+    point.value = spec.values[i];
+
+    // Each point owns its recorder: Recorder is single-run state (see
+    // obs/recorder.hpp) and the engine installs it thread-locally.
+    std::shared_ptr<obs::Recorder> recorder;
+    obs::RecorderConfig obs_config;
+    obs_config.trace_path =
+        per_value_path(spec.trace_base, i, point.value);
+    obs_config.metrics_path =
+        per_value_path(spec.metrics_base, i, point.value);
+    obs_config.profile = spec.profile;
+    if (obs_config.any_enabled())
+      recorder = std::make_shared<obs::Recorder>(obs_config);
+
+    point.result = run_experiment(configs[i], recorder).result;
+    if (recorder) {
+      recorder->finish();
+      if (spec.profile) {
+        std::ostringstream text;
+        recorder->profiler().print_table(text);
+        point.profile_text = text.str();
+      }
+    }
+  });
+  return points;
+}
+
+void print_sweep_report(std::ostream& out, const SweepSpec& spec,
+                        const std::vector<SweepPoint>& points) {
+  TextTable table({spec.key, "brown kWh", "green util", "curtailed kWh",
+                   "misses", "mean nodes"});
+  for (const auto& point : points) {
+    const auto& r = point.result;
+    table.add_row({point.value, TextTable::num(r.brown_kwh()),
+                   TextTable::percent(r.energy.green_utilization()),
+                   TextTable::num(r.curtailed_kwh()),
+                   std::to_string(r.qos.deadline_misses),
+                   TextTable::num(r.scheduler.mean_active_nodes, 1)});
+    out << "csv:" << point.value << ',' << r.brown_kwh() << ','
+        << r.energy.green_utilization() << '\n';
+    if (!point.profile_text.empty())
+      out << "\nphases for " << spec.key << '=' << point.value << ":\n"
+          << point.profile_text;
+  }
+  table.print(out);
+}
+
+}  // namespace gm::core

@@ -1,0 +1,58 @@
+#pragma once
+// Parallel one-dimensional parameter sweeps: the engine-facing core of
+// the greenmatch_sweep CLI, factored out so tests can assert that a
+// `--jobs=8` sweep renders byte-identically to `--jobs=1`. One
+// simulation runs per value of `key`; points execute on a
+// gm::ThreadPool — one engine, and one obs::Recorder, per point — and
+// results are collected by index, so output order never depends on
+// scheduling.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "metrics/report.hpp"
+
+namespace gm::core {
+
+struct SweepSpec {
+  std::string key;                  ///< config key being swept
+  std::vector<std::string> values;  ///< one simulation per value
+  ExperimentConfig base;            ///< file + CLI overrides applied
+  /// Per-point observability bases (see per_value_path); empty
+  /// disables the corresponding artifact.
+  std::string trace_base;
+  std::string metrics_base;
+  bool profile = false;
+  /// Worker threads; 0 = hardware concurrency, 1 = serial.
+  std::size_t jobs = 0;
+};
+
+struct SweepPoint {
+  std::string value;
+  metrics::RunResult result;
+  std::string profile_text;  ///< rendered phase table (profile only)
+};
+
+/// run.jsonl + (2, "asap") -> run.2-asap.jsonl. The point index is
+/// part of the derived name because sanitizing the value alone
+/// collides: "1/2" and "1_2" both map to "1_2", and duplicate sweep
+/// values map to themselves — either way one point's artifacts would
+/// silently overwrite another's.
+std::string per_value_path(const std::string& base, std::size_t index,
+                           const std::string& value);
+
+/// Runs the sweep (in parallel for jobs != 1) and returns one point
+/// per value, in value order. Configuration errors (unknown key, bad
+/// value) are raised before any simulation starts, so they do not
+/// depend on scheduling order.
+std::vector<SweepPoint> run_sweep(const SweepSpec& spec);
+
+/// Prints the csv: lines, the per-point phase tables (when profiling)
+/// and the summary table, exactly as the serial CLI always has.
+void print_sweep_report(std::ostream& out, const SweepSpec& spec,
+                        const std::vector<SweepPoint>& points);
+
+}  // namespace gm::core

@@ -7,9 +7,13 @@
 
 namespace gm::obs {
 
-void PhaseProfiler::record(const std::string& phase,
-                           double duration_ns) {
-  PhaseStats& s = phases_[phase];
+void PhaseProfiler::record(std::string_view phase, double duration_ns) {
+  // Heterogeneous find: the common (phase already seen) case touches
+  // no std::string at all; only first sight pays the copy.
+  auto it = phases_.find(phase);
+  if (it == phases_.end())
+    it = phases_.emplace(std::string(phase), PhaseStats{}).first;
+  PhaseStats& s = it->second;
   ++s.calls;
   s.total_ns += duration_ns;
   s.max_ns = std::max(s.max_ns, duration_ns);

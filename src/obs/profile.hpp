@@ -4,13 +4,16 @@
 // each scope's duration is aggregated here into call count / total /
 // max per phase name, and the run ends with one profile table.
 //
-// Phase names are expected to be string literals (they are stored by
-// value only once, on first sight).
+// Phase names are expected to be string literals; each name is stored
+// by value only once, on first sight. Lookups are heterogeneous
+// (transparent comparator, string_view key), so the steady-state
+// record() hit never constructs a std::string.
 
 #include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace gm::obs {
@@ -28,9 +31,9 @@ struct PhaseStats {
 
 class PhaseProfiler {
  public:
-  void record(const std::string& phase, double duration_ns);
+  void record(std::string_view phase, double duration_ns);
 
-  const std::map<std::string, PhaseStats>& phases() const {
+  const std::map<std::string, PhaseStats, std::less<>>& phases() const {
     return phases_;
   }
   bool empty() const { return phases_.empty(); }
@@ -43,7 +46,7 @@ class PhaseProfiler {
   void print_table(std::ostream& out) const;
 
  private:
-  std::map<std::string, PhaseStats> phases_;
+  std::map<std::string, PhaseStats, std::less<>> phases_;
 };
 
 }  // namespace gm::obs

@@ -19,6 +19,15 @@
 // Alongside every trace/metrics file the recorder writes a *run
 // manifest*: the full config echo, RNG seeds, slot grid, build flags
 // and wall-clock, so any bench row is reproducible from its artifacts.
+//
+// Thread-safety contract: a Recorder is single-run, single-thread
+// state — none of its methods are synchronized. The supported
+// concurrency model (used by greenmatch_sweep --jobs and the bench
+// run_sweep helper) is one Recorder per sweep point, with the engine
+// installing it into the *thread-local* slot below for the duration
+// of each slot step; recorders on different worker threads never
+// touch each other. Sharing one Recorder across concurrently running
+// engines is a data race.
 
 #include <chrono>
 #include <cstdint>
@@ -160,6 +169,9 @@ class Recorder {
 // --- thread-local installation for GM_OBS_SCOPE ------------------------
 // The engine installs its recorder around each slot step; phase timers
 // anywhere below (policy, planner, router) find it without plumbing.
+// Because the slot is thread-local, parallel sweep points (each engine
+// on its own pool worker, each with its own recorder) profile
+// independently without synchronization.
 
 namespace detail {
 inline thread_local Recorder* tl_recorder = nullptr;

@@ -1,0 +1,93 @@
+// Tests for the parallel sweep driver (core/sweep.hpp): per-point
+// artifact path derivation and — the harness's central guarantee —
+// that a --jobs=8 sweep renders byte-identically to --jobs=1.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "core/sweep.hpp"
+
+namespace gm::core {
+namespace {
+
+// ------------------------------------------------------ per_value_path
+
+TEST(PerValuePath, SplicesIndexAndValueBeforeExtension) {
+  EXPECT_EQ(per_value_path("run.jsonl", 0, "asap"), "run.0-asap.jsonl");
+  EXPECT_EQ(per_value_path("out/run.jsonl", 3, "40"),
+            "out/run.3-40.jsonl");
+}
+
+TEST(PerValuePath, NoExtensionAppends) {
+  EXPECT_EQ(per_value_path("runfile", 1, "a"), "runfile.1-a");
+  // The dot in the directory is not an extension.
+  EXPECT_EQ(per_value_path("dir.d/run", 2, "b"), "dir.d/run.2-b");
+}
+
+TEST(PerValuePath, SanitizesPathHostileCharacters) {
+  EXPECT_EQ(per_value_path("run.jsonl", 0, "1/2"), "run.0-1_2.jsonl");
+}
+
+TEST(PerValuePath, DistinctPointsNeverCollide) {
+  // "1/2" and "1_2" sanitize identically; the index disambiguates.
+  EXPECT_NE(per_value_path("run.jsonl", 0, "1/2"),
+            per_value_path("run.jsonl", 1, "1_2"));
+  // So do duplicate sweep values.
+  EXPECT_NE(per_value_path("run.jsonl", 0, "40"),
+            per_value_path("run.jsonl", 1, "40"));
+}
+
+TEST(PerValuePath, EmptyBaseStaysEmpty) {
+  EXPECT_EQ(per_value_path("", 0, "x"), "");
+}
+
+// ------------------------------------------------------- run_sweep
+
+SweepSpec quick_spec(std::size_t jobs) {
+  SweepSpec spec;
+  spec.key = "battery.kwh";
+  spec.values = {"0", "5", "10", "15", "20", "25", "30", "40"};
+  spec.base = ExperimentConfig::canonical();
+  spec.base.workload.duration_days = 1;  // keep the test fast
+  spec.jobs = jobs;
+  return spec;
+}
+
+std::string render(const SweepSpec& spec) {
+  std::ostringstream out;
+  print_sweep_report(out, spec, run_sweep(spec));
+  return out.str();
+}
+
+TEST(ParallelSweep, PointsComeBackInValueOrder) {
+  auto spec = quick_spec(4);
+  const auto points = run_sweep(spec);
+  ASSERT_EQ(points.size(), spec.values.size());
+  for (std::size_t i = 0; i < points.size(); ++i)
+    EXPECT_EQ(points[i].value, spec.values[i]);
+}
+
+TEST(ParallelSweep, EightJobsRenderByteIdenticalToSerial) {
+  const std::string serial = render(quick_spec(1));
+  const std::string parallel = render(quick_spec(8));
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelSweep, BadSweepValueFailsBeforeAnyRun) {
+  auto spec = quick_spec(4);
+  spec.values[3] = "not-a-number";
+  EXPECT_THROW(run_sweep(spec), std::exception);
+}
+
+TEST(ParallelSweep, UnknownKeyFails) {
+  auto spec = quick_spec(2);
+  spec.key = "no.such.key";
+  EXPECT_THROW(run_sweep(spec), std::exception);
+}
+
+}  // namespace
+}  // namespace gm::core

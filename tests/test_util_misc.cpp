@@ -4,7 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "util/assert.hpp"
 #include "util/csv.hpp"
@@ -244,12 +249,13 @@ TEST(Assert, AssertThrowsLogicError) {
 
 // --------------------------------------------------------- ThreadPool
 
-TEST(ThreadPool, RunsAllTasks) {
+TEST(ThreadPool, BatchRunsAllTasks) {
   ThreadPool pool(4);
   std::atomic<int> count{0};
+  ThreadPool::Batch batch(pool);
   for (int i = 0; i < 100; ++i)
-    pool.submit([&] { count.fetch_add(1); });
-  pool.wait_idle();
+    batch.submit([&] { count.fetch_add(1); });
+  batch.wait();
   EXPECT_EQ(count.load(), 100);
 }
 
@@ -266,6 +272,14 @@ TEST(ThreadPool, ParallelForZeroIsNoop) {
   parallel_for(pool, 0, [](std::size_t) { FAIL(); });
 }
 
+TEST(ThreadPool, ParallelForFewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for(pool, hits.size(),
+               [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 TEST(ThreadPool, ParallelForPropagatesException) {
   ThreadPool pool(2);
   EXPECT_THROW(parallel_for(pool, 64,
@@ -274,6 +288,95 @@ TEST(ThreadPool, ParallelForPropagatesException) {
                                 throw std::runtime_error("boom");
                             }),
                std::runtime_error);
+}
+
+// "First one wins": with a single failing index the propagated
+// exception is necessarily that one; the throw aborts only the rest
+// of its own chunk, other chunks still complete, and the pool stays
+// usable for the next batch.
+TEST(ThreadPool, ExceptionFirstOneWinsAndPoolSurvives) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  try {
+    parallel_for(pool, 64, [&](std::size_t i) {
+      if (i == 33) throw std::runtime_error("boom-33");
+      count.fetch_add(1);
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom-33");
+  }
+  // All chunks but the throwing one's tail ran: with 2 threads the
+  // 64 indices split into 8 chunks of 8, so at most 7 more indices
+  // (the remainder of the failing chunk) can be skipped.
+  EXPECT_GE(count.load(), 64 - 8);
+  EXPECT_LT(count.load(), 64);
+  std::atomic<int> again{0};
+  parallel_for(pool, 8, [&](std::size_t) { again.fetch_add(1); });
+  EXPECT_EQ(again.load(), 8);
+}
+
+// Per-batch completion: a batch's wait() returns once *its own* tasks
+// finish, even while another client's tasks sit blocked on the same
+// pool. The old pool-wide wait_idle() hung here forever.
+TEST(ThreadPool, OverlappingBatchesWaitOnlyForTheirOwnWork) {
+  ThreadPool pool(4);
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  std::atomic<int> blocked{0};
+
+  ThreadPool::Batch slow(pool);
+  for (int i = 0; i < 2; ++i)
+    slow.submit([&] {
+      blocked.fetch_add(1);
+      std::unique_lock lock(gate_mutex);
+      gate_cv.wait(lock, [&] { return gate_open; });
+    });
+  while (blocked.load() < 2) std::this_thread::yield();
+
+  std::atomic<int> quick{0};
+  parallel_for(pool, 16, [&](std::size_t) { quick.fetch_add(1); });
+  EXPECT_EQ(quick.load(), 16);
+
+  {
+    std::lock_guard lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  slow.wait();
+}
+
+// Nested parallel_for on the same pool runs inline on the calling
+// worker instead of deadlocking a saturated pool.
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(pool, 8, [&](std::size_t outer) {
+    EXPECT_TRUE(pool.on_worker_thread());
+    parallel_for(pool, 8, [&](std::size_t inner) {
+      hits[outer * 8 + inner].fetch_add(1);
+    });
+  });
+  EXPECT_FALSE(pool.on_worker_thread());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// Constructing a Batch on a worker of its own pool is the deadlock
+// shape the nested-submit safety check rejects.
+TEST(ThreadPool, BatchOnOwnWorkerAsserts) {
+  ThreadPool pool(1);
+  std::atomic<bool> threw{false};
+  ThreadPool::Batch batch(pool);
+  batch.submit([&] {
+    try {
+      ThreadPool::Batch nested(pool);
+    } catch (const std::logic_error&) {
+      threw.store(true);
+    }
+  });
+  batch.wait();
+  EXPECT_TRUE(threw.load());
 }
 
 TEST(ThreadPool, TransientHelper) {

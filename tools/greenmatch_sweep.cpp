@@ -1,7 +1,8 @@
 // greenmatch_sweep — one-dimensional parameter sweeps from the CLI.
 //
 //   greenmatch_sweep <key> <v1,v2,...> [config-file] [key=value ...]
-//                    [--trace=FILE] [--metrics=FILE] [--profile]
+//                    [--jobs=N] [--trace=FILE] [--metrics=FILE]
+//                    [--profile]
 //
 // Runs one simulation per value of <key> (same key space as the config
 // files) and prints a comparison table plus csv: lines. Example:
@@ -9,50 +10,56 @@
 //   greenmatch_sweep battery.kwh 0,20,40,80 policy.kind=greenmatch
 //   greenmatch_sweep policy.kind asap,opportunistic,greenmatch
 //
+// Points run in parallel on a gm::ThreadPool — --jobs=N picks the
+// worker count (default: all hardware threads; --jobs=1 is serial).
+// Results are collected by index, so the table and csv: output are
+// byte-identical whatever the job count.
+//
 // Observability: --trace / --metrics name *base* files; each sweep
-// point writes to the base with the point's value spliced in before
-// the extension (run.jsonl -> run.asap.jsonl). --profile prints one
-// phase-timing table per point.
+// point writes to the base with its index and value spliced in before
+// the extension (run.jsonl -> run.0-asap.jsonl). The index keeps
+// distinct points from colliding after value sanitization. --profile
+// prints one phase-timing table per point.
 
-#include <cctype>
 #include <cstring>
 #include <iostream>
-#include <memory>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/config_io.hpp"
-#include "core/engine.hpp"
-#include "obs/recorder.hpp"
-#include "util/table.hpp"
+#include "core/sweep.hpp"
 
 namespace {
 
+/// Splits "a,b,c" keeping empty items so they can be rejected: a
+/// trailing comma ("0,20,") or interior empty ("0,,20") is operator
+/// error, and silently dropping or passing it through would run the
+/// wrong experiment.
 std::vector<std::string> split_values(const std::string& csv) {
   std::vector<std::string> out;
-  std::istringstream in(csv);
-  std::string item;
-  while (std::getline(in, item, ',')) out.push_back(item);
+  std::size_t start = 0;
+  for (;;) {
+    const auto comma = csv.find(',', start);
+    out.push_back(csv.substr(
+        start, comma == std::string::npos ? std::string::npos
+                                          : comma - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
   return out;
 }
 
-/// run.jsonl + "asap" -> run.asap.jsonl (value sanitized for paths).
-std::string per_value_path(const std::string& base,
-                           const std::string& value) {
-  if (base.empty()) return base;
-  std::string tag;
-  for (char c : value)
-    tag += (std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
-            c == '.')
-               ? c
-               : '_';
-  const auto dot = base.rfind('.');
-  const auto slash = base.rfind('/');
-  if (dot == std::string::npos ||
-      (slash != std::string::npos && dot < slash))
-    return base + "." + tag;
-  return base.substr(0, dot) + "." + tag + base.substr(dot);
+bool parse_jobs(const std::string& text, std::size_t& jobs) {
+  if (text.empty()) return false;
+  std::size_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+    if (value > 4096) return false;
+  }
+  if (value == 0) return false;
+  jobs = value;
+  return true;
 }
 
 }  // namespace
@@ -60,33 +67,42 @@ std::string per_value_path(const std::string& base,
 int main(int argc, char** argv) {
   if (argc < 3) {
     std::cout << "usage: greenmatch_sweep <key> <v1,v2,...> "
-                 "[config-file] [key=value ...]\n\nKeys:\n"
+                 "[config-file] [key=value ...] [--jobs=N]\n\nKeys:\n"
               << gm::core::config_keys_help();
     return argc == 1 ? 0 : 2;
   }
-  const std::string sweep_key = argv[1];
-  const auto values = split_values(argv[2]);
-  if (values.empty()) {
-    std::cerr << "error: no sweep values\n";
-    return 2;
+  gm::core::SweepSpec spec;
+  spec.key = argv[1];
+  spec.values = split_values(argv[2]);
+  for (const auto& value : spec.values) {
+    if (value.empty()) {
+      std::cerr << "error: empty sweep value in '" << argv[2] << "'\n";
+      return 2;
+    }
   }
 
   std::string config_path;
   gm::KeyValueConfig overrides;
-  std::string trace_base, metrics_base;
-  bool profile = false;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--profile") {
-      profile = true;
+      spec.profile = true;
+      continue;
+    }
+    if (arg.rfind("--jobs=", 0) == 0) {
+      if (!parse_jobs(arg.substr(std::strlen("--jobs=")), spec.jobs)) {
+        std::cerr << "error: --jobs expects a positive integer, got '"
+                  << arg.substr(std::strlen("--jobs=")) << "'\n";
+        return 2;
+      }
       continue;
     }
     if (arg.rfind("--trace=", 0) == 0) {
-      trace_base = arg.substr(std::strlen("--trace="));
+      spec.trace_base = arg.substr(std::strlen("--trace="));
       continue;
     }
     if (arg.rfind("--metrics=", 0) == 0) {
-      metrics_base = arg.substr(std::strlen("--metrics="));
+      spec.metrics_base = arg.substr(std::strlen("--metrics="));
       continue;
     }
     const auto eq = arg.find('=');
@@ -101,46 +117,14 @@ int main(int argc, char** argv) {
   }
 
   try {
-    gm::TextTable table({sweep_key, "brown kWh", "green util",
-                         "curtailed kWh", "misses", "mean nodes"});
-    for (const auto& value : values) {
-      gm::core::ExperimentConfig config =
-          gm::core::ExperimentConfig::canonical();
-      if (!config_path.empty())
-        gm::core::apply_config(
-            config, gm::KeyValueConfig::load_file(config_path));
-      gm::core::apply_config(config, overrides);
-      gm::KeyValueConfig point;
-      point.set(sweep_key, value);
-      gm::core::apply_config(config, point);
+    spec.base = gm::core::ExperimentConfig::canonical();
+    if (!config_path.empty())
+      gm::core::apply_config(
+          spec.base, gm::KeyValueConfig::load_file(config_path));
+    gm::core::apply_config(spec.base, overrides);
 
-      std::shared_ptr<gm::obs::Recorder> recorder;
-      gm::obs::RecorderConfig obs_config;
-      obs_config.trace_path = per_value_path(trace_base, value);
-      obs_config.metrics_path = per_value_path(metrics_base, value);
-      obs_config.profile = profile;
-      if (obs_config.any_enabled())
-        recorder = std::make_shared<gm::obs::Recorder>(obs_config);
-
-      const auto r = gm::core::run_experiment(config, recorder).result;
-      table.add_row({value, gm::TextTable::num(r.brown_kwh()),
-                     gm::TextTable::percent(r.energy.green_utilization()),
-                     gm::TextTable::num(r.curtailed_kwh()),
-                     std::to_string(r.qos.deadline_misses),
-                     gm::TextTable::num(r.scheduler.mean_active_nodes,
-                                        1)});
-      std::cout << "csv:" << value << ',' << r.brown_kwh() << ','
-                << r.energy.green_utilization() << '\n';
-      if (recorder) {
-        recorder->finish();
-        if (profile) {
-          std::cout << "\nphases for " << sweep_key << '=' << value
-                    << ":\n";
-          recorder->profiler().print_table(std::cout);
-        }
-      }
-    }
-    table.print(std::cout);
+    const auto points = gm::core::run_sweep(spec);
+    gm::core::print_sweep_report(std::cout, spec, points);
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
