@@ -22,7 +22,8 @@ core::ExperimentConfig base() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gm::bench::ExhibitReporter reporter("ablation_design_choices", argc, argv);
   bench::print_header("Ablations", "design-choice studies (DESIGN.md §6)");
 
   {

@@ -1,8 +1,11 @@
 #pragma once
-// Shared helpers for the reproduction bench binaries. Every bench is a
-// no-argument executable that prints its exhibit as an aligned table
-// (and a `csv:`-prefixed machine-readable block) so `for b in
-// build/bench/*; do $b; done` regenerates the whole evaluation.
+// Shared helpers for the reproduction bench binaries. Every bench
+// prints its exhibit as an aligned table (and a `csv:`-prefixed
+// machine-readable block) so `for b in build/bench/*; do $b; done`
+// regenerates the whole evaluation. Benches take no required
+// arguments; the optional `--json=<path>` appends flat BenchRecord
+// lines (wall time plus any named metrics — see json_report.hpp) for
+// gm_bench_merge to collate into a BENCH_*.json perf baseline.
 //
 // Sweep-shaped benches fan their independent simulations out on a
 // process-wide gm::ThreadPool (run_sweep / parallel_map below);
@@ -19,6 +22,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "json_report.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 

@@ -8,7 +8,8 @@
 #include "bench_support.hpp"
 #include "energy/wind.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  gm::bench::ExhibitReporter reporter("fig10_wind_extension", argc, argv);
   using namespace gm;
   bench::print_header(
       "R-Fig-10",

@@ -44,7 +44,8 @@ void report(const std::string& label,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gm::bench::ExhibitReporter reporter("fig11_follow_the_sun", argc, argv);
   bench::print_header(
       "R-Fig-11", "follow-the-sun federation (3 staggered sites; and an "
                   "asymmetric pair)");

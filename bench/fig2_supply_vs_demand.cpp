@@ -5,7 +5,8 @@
 
 #include "bench_support.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  gm::bench::ExhibitReporter reporter("fig2_supply_vs_demand", argc, argv);
   using namespace gm;
   bench::print_header("R-Fig-2",
                       "hourly workload demand vs solar supply (one week)");

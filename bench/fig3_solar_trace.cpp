@@ -5,7 +5,8 @@
 #include "bench_support.hpp"
 #include "energy/solar.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  gm::bench::ExhibitReporter reporter("fig3_solar_trace", argc, argv);
   using namespace gm;
   bench::print_header(
       "R-Fig-3", "solar production, 8-panel mini-farm (11.04 m²), 1 week");

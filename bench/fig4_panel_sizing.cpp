@@ -5,7 +5,8 @@
 
 #include "bench_support.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  gm::bench::ExhibitReporter reporter("fig4_panel_sizing", argc, argv);
   using namespace gm;
   bench::print_header(
       "R-Fig-4",

@@ -7,7 +7,8 @@
 
 #include "bench_support.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  gm::bench::ExhibitReporter reporter("fig5_battery_sizing", argc, argv);
   using namespace gm;
   bench::print_header(
       "R-Fig-5",

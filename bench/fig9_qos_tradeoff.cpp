@@ -5,7 +5,8 @@
 
 #include "bench_support.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  gm::bench::ExhibitReporter reporter("fig9_qos_tradeoff", argc, argv);
   using namespace gm;
   bench::print_header(
       "R-Fig-9",

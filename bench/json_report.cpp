@@ -1,0 +1,149 @@
+#include "json_report.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "obs/trace.hpp"
+#include "util/assert.hpp"
+
+namespace gm::bench {
+
+std::string current_git_sha() {
+#ifdef GM_GIT_SHA
+  return GM_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+std::string render_record(const BenchRecord& record) {
+  obs::JsonObject object;
+  object.set("bench", record.bench)
+      .set("metric", record.metric)
+      .set("value", record.value)
+      .set("unit", record.unit)
+      .set("wall_ms", record.wall_ms)
+      .set("git_sha", record.git_sha);
+  return object.str();
+}
+
+BenchRecord parse_bench_record(const std::string& line) {
+  const obs::FlatRecord flat = obs::parse_flat_json(line);
+  BenchRecord record;
+  record.bench = obs::record_str(flat, "bench");
+  record.metric = obs::record_str(flat, "metric");
+  record.value = obs::record_num(flat, "value");
+  record.unit = obs::record_str(flat, "unit");
+  record.wall_ms = obs::record_num(flat, "wall_ms");
+  record.git_sha = obs::record_str(flat, "git_sha");
+  return record;
+}
+
+std::vector<BenchRecord> read_report(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw RuntimeError("cannot open bench report for reading: " + path);
+  std::vector<BenchRecord> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    // Tolerate the merged-array form: strip brackets and trailing
+    // commas so both JSONL and write_merged_json output load.
+    while (!line.empty() &&
+           (line.back() == ',' || line.back() == ' ' ||
+            line.back() == '\r'))
+      line.pop_back();
+    std::size_t start = 0;
+    while (start < line.size() && line[start] == ' ') ++start;
+    line.erase(0, start);
+    if (line.empty() || line == "[" || line == "]") continue;
+    records.push_back(parse_bench_record(line));
+  }
+  return records;
+}
+
+std::vector<BenchRecord> merge_reports(
+    const std::vector<std::string>& paths) {
+  std::vector<BenchRecord> merged;
+  for (const auto& path : paths) {
+    auto records = read_report(path);
+    merged.insert(merged.end(), records.begin(), records.end());
+  }
+  return merged;
+}
+
+void write_merged_json(const std::vector<BenchRecord>& records,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out)
+    throw RuntimeError("cannot open merged report for writing: " + path);
+  out << "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    out << "  " << render_record(records[i]);
+    if (i + 1 < records.size()) out << ',';
+    out << '\n';
+  }
+  out << "]\n";
+  out.flush();
+  GM_CHECK(out.good(), "short write to merged report: " << path);
+}
+
+BenchReportWriter::BenchReportWriter(std::string path)
+    : path_(std::move(path)), out_(path_, std::ios::app) {
+  if (!out_)
+    throw RuntimeError("cannot open bench report for append: " + path_);
+}
+
+void BenchReportWriter::append(const BenchRecord& record) {
+  out_ << render_record(record) << '\n';
+  out_.flush();  // benches may be interleaved with other binaries
+  ++records_;
+}
+
+std::unique_ptr<BenchReportWriter> writer_from_args(int& argc,
+                                                    char** argv) {
+  static constexpr const char kFlag[] = "--json=";
+  static constexpr std::size_t kFlagLen = sizeof(kFlag) - 1;
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, kFlagLen) == 0) {
+      path.assign(argv[i] + kFlagLen);
+      GM_CHECK(!path.empty(), "--json= requires a path");
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  if (path.empty()) return nullptr;
+  return std::make_unique<BenchReportWriter>(path);
+}
+
+ExhibitReporter::ExhibitReporter(std::string bench_name, int& argc,
+                                 char** argv)
+    : bench_(std::move(bench_name)),
+      writer_(writer_from_args(argc, argv)),
+      start_(std::chrono::steady_clock::now()) {}
+
+double ExhibitReporter::elapsed_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+void ExhibitReporter::metric(const std::string& name, double value,
+                             const std::string& unit) {
+  if (!writer_) return;
+  writer_->append(BenchRecord{bench_, name, value, unit, elapsed_ms(),
+                              current_git_sha()});
+}
+
+ExhibitReporter::~ExhibitReporter() {
+  if (!writer_) return;
+  const double wall = elapsed_ms();
+  writer_->append(
+      BenchRecord{bench_, "wall_ms", wall, "ms", wall,
+                  current_git_sha()});
+}
+
+}  // namespace gm::bench

@@ -1,0 +1,115 @@
+#pragma once
+// Machine-readable bench output: every bench binary accepts
+// `--json=<path>` and appends one flat JSON record per metric to that
+// file (JSONL, append mode — several binaries can share one file).
+// `tools/gm_bench_merge` collates the per-binary files into a single
+// pretty-printed JSON array (e.g. the checked-in BENCH_PR3.json) that
+// docs/performance.md treats as the perf baseline.
+//
+// Record schema (all fields always present):
+//   bench    string  producing benchmark ("fig4_panel_sizing",
+//                    "BM_GreenMatchPlanDay", ...)
+//   metric   string  what was measured ("wall_ms", "real_time_ms",
+//                    counter names, ...)
+//   value    number
+//   unit     string  "ms", "items/s", "" for dimensionless
+//   wall_ms  number  wall-clock ms since the producing process
+//                    started, when the record was appended
+//   git_sha  string  short sha the binary was built from
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gm::bench {
+
+struct BenchRecord {
+  std::string bench;
+  std::string metric;
+  double value = 0.0;
+  std::string unit;
+  double wall_ms = 0.0;
+  std::string git_sha;
+};
+
+/// Short git sha the build was configured from (GM_GIT_SHA compile
+/// definition, captured by CMake), or "unknown" outside a checkout.
+std::string current_git_sha();
+
+/// Renders one record as a single flat JSON line (no newline).
+std::string render_record(const BenchRecord& record);
+
+/// Parses one flat JSON object into a record. Unknown keys are
+/// ignored; missing keys get the field's default. Throws
+/// gm::RuntimeError on malformed JSON.
+BenchRecord parse_bench_record(const std::string& line);
+
+/// Reads a report file: JSONL as written by BenchReportWriter, or the
+/// merged-array form written by write_merged_json (brackets and
+/// trailing commas are tolerated, blank lines skipped). Throws
+/// gm::RuntimeError if the file cannot be opened.
+std::vector<BenchRecord> read_report(const std::string& path);
+
+/// Collates several report files into one list (input order kept —
+/// merge output is stable across reruns of the same inputs).
+std::vector<BenchRecord> merge_reports(
+    const std::vector<std::string>& paths);
+
+/// Writes records as a pretty JSON array, one record per line, that
+/// read_report can load back. Throws gm::RuntimeError on open failure.
+void write_merged_json(const std::vector<BenchRecord>& records,
+                       const std::string& path);
+
+/// Appends records to a JSONL file (opened in append mode so every
+/// bench binary of a suite run can target the same file).
+class BenchReportWriter {
+ public:
+  explicit BenchReportWriter(std::string path);
+
+  void append(const BenchRecord& record);
+  const std::string& path() const { return path_; }
+  std::uint64_t records_written() const { return records_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::uint64_t records_ = 0;
+};
+
+/// Scans argv for `--json=<path>`, removes it (argc is adjusted so
+/// the remaining args can go to e.g. benchmark::Initialize), and
+/// returns a writer for the path — or nullptr when the flag is
+/// absent.
+std::unique_ptr<BenchReportWriter> writer_from_args(int& argc,
+                                                    char** argv);
+
+/// RAII reporter for the exhibit benches: construct at the top of
+/// main with the binary's name and argc/argv (consumes `--json=`),
+/// call metric() for any named values worth recording, and on
+/// destruction a `wall_ms` record for the whole run is appended.
+/// Without `--json=` every call is a no-op, so the printed exhibit is
+/// unchanged.
+class ExhibitReporter {
+ public:
+  ExhibitReporter(std::string bench_name, int& argc, char** argv);
+  ~ExhibitReporter();
+
+  ExhibitReporter(const ExhibitReporter&) = delete;
+  ExhibitReporter& operator=(const ExhibitReporter&) = delete;
+
+  void metric(const std::string& name, double value,
+              const std::string& unit = "");
+  bool enabled() const { return writer_ != nullptr; }
+
+ private:
+  double elapsed_ms() const;
+
+  std::string bench_;
+  std::unique_ptr<BenchReportWriter> writer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace gm::bench

@@ -1,10 +1,15 @@
 // Micro-benchmarks (google-benchmark) for the hot components: event
 // queue, min-cost-flow planner, placement construction, coverage
 // queries, battery stepping and the solar model.
+//
+// `--json=<path>` (stripped before benchmark::Initialize sees argv)
+// appends one BenchRecord per benchmark — real time plus every user
+// counter — for gm_bench_merge / BENCH_*.json.
 
 #include <benchmark/benchmark.h>
 
 #include "core/engine.hpp"
+#include "json_report.hpp"
 #include "core/mincost_flow.hpp"
 #include "energy/battery.hpp"
 #include "energy/solar.hpp"
@@ -155,6 +160,50 @@ void BM_SolarPower(benchmark::State& state) {
 }
 BENCHMARK(BM_SolarPower);
 
+// Console output as usual, plus one record per finished benchmark
+// (real time and every user counter) appended to the --json report.
+class JsonAppendReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonAppendReporter(gm::bench::BenchReportWriter* writer)
+      : writer_(writer) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    if (!writer_) return;
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      const double wall_ms = elapsed_ms();
+      const std::string name = run.benchmark_name();
+      writer_->append({name, "real_time",
+                       run.GetAdjustedRealTime(),
+                       benchmark::GetTimeUnitString(run.time_unit),
+                       wall_ms, gm::bench::current_git_sha()});
+      for (const auto& [counter_name, counter] : run.counters)
+        writer_->append({name, counter_name,
+                         static_cast<double>(counter.value), "",
+                         wall_ms, gm::bench::current_git_sha()});
+    }
+  }
+
+ private:
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  gm::bench::BenchReportWriter* writer_;
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  auto writer = gm::bench::writer_from_args(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonAppendReporter reporter(writer.get());
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,7 +6,8 @@
 #include "bench_support.hpp"
 #include "energy/battery.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  gm::bench::ExhibitReporter reporter("tab1_battery_presets", argc, argv);
   using namespace gm;
   bench::print_header("R-Tab-1",
                       "battery technology characteristics (90 kWh)");

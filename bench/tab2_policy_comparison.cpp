@@ -5,7 +5,8 @@
 
 #include "bench_support.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  gm::bench::ExhibitReporter reporter("tab2_policy_comparison", argc, argv);
   using namespace gm;
   bench::print_header(
       "R-Tab-2",

@@ -7,7 +7,8 @@
 
 #include "bench_support.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  gm::bench::ExhibitReporter reporter("tab3_battery_lifetime", argc, argv);
   using namespace gm;
   bench::print_header(
       "R-Tab-3",

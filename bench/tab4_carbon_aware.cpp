@@ -7,7 +7,8 @@
 #include "bench_support.hpp"
 #include "energy/grid.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  gm::bench::ExhibitReporter reporter("tab4_carbon_aware", argc, argv);
   using namespace gm;
   bench::print_header(
       "R-Tab-4",

@@ -193,9 +193,13 @@ void SimulationEngine::process_failures(SimTime now, SlotIndex slot) {
   }
 }
 
-SlotContext SimulationEngine::make_context(SlotIndex slot, SimTime start,
-                                           SimTime end) {
-  SlotContext ctx;
+const SlotContext& SimulationEngine::make_context(SlotIndex slot,
+                                                  SimTime start,
+                                                  SimTime end) {
+  // ctx_ is a rolling buffer: the forecast vectors and the pending
+  // snapshot are refilled in place every slot, so their allocations
+  // are made once per run instead of once per slot.
+  SlotContext& ctx = ctx_;
   ctx.slot = slot;
   ctx.start = start;
   ctx.end = end;
@@ -207,8 +211,12 @@ SlotContext SimulationEngine::make_context(SlotIndex slot, SimTime start,
   ctx.currently_active_nodes = power_.active_count();
 
   const int horizon = std::max(1, config_.policy.horizon_slots);
+  ctx.green_forecast_w.clear();
+  ctx.foreground_util_forecast.clear();
+  ctx.grid_carbon_g_per_kwh.clear();
   ctx.green_forecast_w.reserve(horizon);
   ctx.foreground_util_forecast.reserve(horizon);
+  ctx.grid_carbon_g_per_kwh.reserve(horizon);
   for (int j = 0; j < horizon; ++j) {
     const auto s = static_cast<std::size_t>(slot + j);
     if (config_.noisy_forecast) {
@@ -233,7 +241,7 @@ SlotContext SimulationEngine::make_context(SlotIndex slot, SimTime start,
         config_.grid.carbon_g_per_kwh(calendar_of(mid).hour));
   }
   ctx.foreground_util = ctx.foreground_util_forecast[0];
-  ctx.pending = pending_;
+  ctx.pending.assign(pending_.begin(), pending_.end());
   return ctx;
 }
 
@@ -382,6 +390,9 @@ std::vector<PendingTask> SimulationEngine::extract_transferable_tasks(
     moved.push_back(p);
     return true;
   });
+  // Mid-pool erasure shifts later (possibly unsorted, injected)
+  // entries into the sorted prefix; re-sort from scratch next slot.
+  pending_sorted_ = 0;
   // Moved tasks become the destination site's responsibility.
   GM_ASSERT(tasks_admitted_ >= moved.size());
   tasks_admitted_ -= moved.size();
@@ -426,20 +437,33 @@ void SimulationEngine::run_slot(SlotIndex slot) {
     const bool in_workload = slot < workload_slots;
 
     // 1. Failures/recoveries, then admit released tasks; keep the
-    //    pool deadline-sorted.
+    //    pool deadline-sorted. The pool left by the previous slot is
+    //    already sorted (pending_sorted_ tracks the prefix length, and
+    //    federation injections land past it), so instead of re-sorting
+    //    everything we sort just the newcomers and admit them into
+    //    position with an inplace_merge. (deadline, id) keys are
+    //    unique for coexisting tasks, so this yields the same order a
+    //    full sort would.
     const std::size_t before = pending_.size();
     process_failures(start, slot);
     admit_released_tasks(start);
     tasks_admitted_ += pending_.size() - before;
-    std::sort(pending_.begin(), pending_.end(),
-              [](const PendingTask& a, const PendingTask& b) {
-                if (a.task.deadline != b.task.deadline)
-                  return a.task.deadline < b.task.deadline;
-                return a.task.id < b.task.id;
-              });
+    const auto by_deadline = [](const PendingTask& a,
+                                const PendingTask& b) {
+      if (a.task.deadline != b.task.deadline)
+        return a.task.deadline < b.task.deadline;
+      return a.task.id < b.task.id;
+    };
+    const auto mid =
+        pending_.begin() +
+        static_cast<std::ptrdiff_t>(std::min(pending_sorted_, before));
+    std::sort(mid, pending_.end(), by_deadline);
+    std::inplace_merge(pending_.begin(), mid, pending_.end(),
+                       by_deadline);
+    pending_sorted_ = pending_.size();
 
     // 2. Policy decision.
-    const SlotContext ctx = make_context(slot, start, end);
+    const SlotContext& ctx = make_context(slot, start, end);
     SlotDecision decision;
     {
       GM_OBS_SCOPE("policy.decide");
@@ -533,6 +557,7 @@ void SimulationEngine::run_slot(SlotIndex slot) {
 
     std::erase_if(pending_,
                   [](const PendingTask& p) { return p.remaining_s <= 0.0; });
+    pending_sorted_ = pending_.size();  // erasure preserves the order
 
     // 5. Event-level request routing inside the slot.
     if (config_.fidelity == Fidelity::kEventLevel && in_workload)

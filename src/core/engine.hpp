@@ -108,7 +108,11 @@ class SimulationEngine {
   /// Applies configured node failures/recoveries due by `now`; failed
   /// nodes spawn one repair task per placement group they hosted.
   void process_failures(SimTime now, SlotIndex slot);
-  SlotContext make_context(SlotIndex slot, SimTime start, SimTime end);
+  /// Fills and returns ctx_ (a per-engine rolling buffer — the
+  /// forecast vectors and pending snapshot reuse their allocations
+  /// across slots). The reference is valid until the next call.
+  const SlotContext& make_context(SlotIndex slot, SimTime start,
+                                  SimTime end);
   /// Sanitizes the policy's run set: dedups, forces urgent tasks, and
   /// assigns tasks to active replica nodes. Returns indices into
   /// pending_ of tasks that actually run, and accumulates migration
@@ -137,9 +141,17 @@ class SimulationEngine {
   sim::Simulator simulator_;
   ClusterFacts facts_;
   SlotGrid slots_;
+  /// Rolling per-slot observation buffer (see make_context).
+  SlotContext ctx_;
 
   // Pending pool and task bookkeeping.
   std::vector<PendingTask> pending_;
+  /// Length of the deadline-sorted prefix of pending_. The slot loop
+  /// keeps the whole pool sorted, so newcomers are admitted with a
+  /// tail-sort + inplace_merge instead of a full re-sort; federation
+  /// injections append past the prefix, and mid-pool extraction
+  /// resets it (next slot falls back to a full sort).
+  std::size_t pending_sorted_ = 0;
   std::size_t next_task_index_ = 0;     ///< into workload_.tasks
   std::size_t next_request_index_ = 0;  ///< into workload_.requests
 

@@ -184,7 +184,8 @@ SlotDecision GreenMatchPolicy::plan_flow(const SlotContext& ctx) {
   const int b_base = g_base + h;            // B_0 .. B_h (h+1 nodes)
   const int beyond = b_base + (battery ? h + 1 : 0);
   const int sink = beyond + 1;
-  MinCostFlow flow(sink + 1);
+  flow_.reset(sink + 1);
+  MinCostFlow& flow = flow_;
 
   const long long cap_per_slot =
       static_cast<long long>(facts_.total_nodes) *

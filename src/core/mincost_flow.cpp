@@ -2,16 +2,22 @@
 
 #include <algorithm>
 #include <climits>
-#include <queue>
+#include <functional>
 
 #include "obs/recorder.hpp"
 #include "util/assert.hpp"
 
 namespace gm::core {
 
-MinCostFlow::MinCostFlow(int node_count) {
+MinCostFlow::MinCostFlow(int node_count) { reset(node_count); }
+
+void MinCostFlow::reset(int node_count) {
   GM_CHECK(node_count > 0, "flow network needs at least one node");
-  graph_.resize(node_count);
+  const auto n = static_cast<std::size_t>(node_count);
+  if (graph_.size() > n) graph_.resize(n);
+  for (auto& adjacency : graph_) adjacency.clear();
+  graph_.resize(n);
+  edge_refs_.clear();
 }
 
 int MinCostFlow::add_edge(NodeIdx from, NodeIdx to, long long capacity,
@@ -37,50 +43,65 @@ MinCostFlow::Result MinCostFlow::solve(NodeIdx s, NodeIdx t,
   GM_CHECK(s != t, "source equals sink");
 
   const int n = node_count();
-  std::vector<long long> potential(n, 0);  // valid: all costs >= 0
-  std::vector<long long> dist(n);
-  std::vector<int> prev_node(n), prev_edge(n);
+  potential_.assign(static_cast<std::size_t>(n), 0);  // valid: costs >= 0
+  dist_.resize(static_cast<std::size_t>(n));
+  prev_node_.resize(static_cast<std::size_t>(n));
+  prev_edge_.resize(static_cast<std::size_t>(n));
+  const auto heap_greater = std::greater<>{};
 
   Result result;
   while (result.flow < max_flow) {
-    // Dijkstra on reduced costs.
-    std::fill(dist.begin(), dist.end(), kInfCost);
-    dist[s] = 0;
-    using Entry = std::pair<long long, NodeIdx>;
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
-    pq.emplace(0, s);
-    while (!pq.empty()) {
-      const auto [d, u] = pq.top();
-      pq.pop();
-      if (d > dist[u]) continue;
+    // Dijkstra on reduced costs. The heap is an explicit binary heap
+    // on a member vector (same pop order as std::priority_queue, but
+    // the storage survives across augmentations and solves).
+    std::fill(dist_.begin(), dist_.end(), kInfCost);
+    dist_[s] = 0;
+    heap_.clear();
+    heap_.emplace_back(0, s);
+    while (!heap_.empty()) {
+      std::pop_heap(heap_.begin(), heap_.end(), heap_greater);
+      const auto [d, u] = heap_.back();
+      heap_.pop_back();
+      if (d > dist_[u]) continue;
+      // Early exit once the sink is settled: remaining pops have
+      // d >= dist[t], so no relaxation can improve any node on the
+      // found path. Nodes left unsettled get their potential clamped
+      // to dist[t] below, which keeps reduced costs non-negative.
+      if (u == t) break;
       for (int i = 0; i < static_cast<int>(graph_[u].size()); ++i) {
         const Edge& e = graph_[u][i];
         if (e.capacity <= 0) continue;
-        const long long nd = d + e.cost + potential[u] - potential[e.to];
-        GM_ASSERT_MSG(e.cost + potential[u] - potential[e.to] >= 0,
+        const long long nd = d + e.cost + potential_[u] - potential_[e.to];
+        GM_ASSERT_MSG(e.cost + potential_[u] - potential_[e.to] >= 0,
                       "negative reduced cost — potentials invalid");
-        if (nd < dist[e.to]) {
-          dist[e.to] = nd;
-          prev_node[e.to] = u;
-          prev_edge[e.to] = i;
-          pq.emplace(nd, e.to);
+        if (nd < dist_[e.to]) {
+          dist_[e.to] = nd;
+          prev_node_[e.to] = u;
+          prev_edge_[e.to] = i;
+          heap_.emplace_back(nd, e.to);
+          std::push_heap(heap_.begin(), heap_.end(), heap_greater);
         }
       }
     }
-    if (dist[t] >= kInfCost) break;  // no augmenting path
+    if (dist_[t] >= kInfCost) break;  // no augmenting path
 
+    // Johnson potential update, clamped at dist[t]. For settled nodes
+    // this is the classic exact update; for nodes the early exit left
+    // unsettled (label, if any, >= dist[t]) the clamp preserves the
+    // non-negative reduced-cost invariant on every residual edge.
+    const long long dt = dist_[t];
     for (int v = 0; v < n; ++v)
-      if (dist[v] < kInfCost) potential[v] += dist[v];
+      potential_[v] += std::min(dist_[v], dt);
 
     // Bottleneck along the path.
     long long push = max_flow - result.flow;
-    for (NodeIdx v = t; v != s; v = prev_node[v])
+    for (NodeIdx v = t; v != s; v = prev_node_[v])
       push = std::min(push,
-                      graph_[prev_node[v]][prev_edge[v]].capacity);
+                      graph_[prev_node_[v]][prev_edge_[v]].capacity);
     GM_ASSERT(push > 0);
 
-    for (NodeIdx v = t; v != s; v = prev_node[v]) {
-      Edge& e = graph_[prev_node[v]][prev_edge[v]];
+    for (NodeIdx v = t; v != s; v = prev_node_[v]) {
+      Edge& e = graph_[prev_node_[v]][prev_edge_[v]];
       e.capacity -= push;
       graph_[v][e.rev].capacity += push;
       result.cost += push * e.cost;

@@ -6,6 +6,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "core/mincost_flow.hpp"
 #include "core/policy.hpp"
 #include "util/rng.hpp"
 
@@ -103,6 +104,12 @@ class GreenMatchPolicy final : public SchedulerPolicy {
   bool carbon_aware_;
   double solve_ms_total_ = 0.0;
   std::uint64_t plan_cache_hits_ = 0;
+
+  /// The matching network, kept across plan calls as an arena: the
+  /// planner rebuilds the edges every solve, but reset() preserves the
+  /// adjacency-list and Dijkstra scratch allocations, so steady-state
+  /// planning is allocation-free (see mincost_flow.hpp).
+  MinCostFlow flow_{1};
 
   // Cached plan state (replan_every_slot_ == false).
   SlotIndex plan_base_ = -1;

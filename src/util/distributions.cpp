@@ -1,6 +1,9 @@
 #include "util/distributions.hpp"
 
 #include <cmath>
+#include <map>
+#include <mutex>
+#include <utility>
 
 #include "util/assert.hpp"
 
@@ -57,26 +60,75 @@ std::int64_t sample_poisson(Rng& rng, double mean) {
   return x < 0.5 ? 0 : static_cast<std::int64_t>(std::llround(x));
 }
 
+namespace {
+
+std::shared_ptr<const detail::ZipfTable> build_zipf_table(std::size_t n,
+                                                          double s) {
+  auto table = std::make_shared<detail::ZipfTable>();
+  auto& cdf = table->cdf;
+  cdf.resize(n);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf[k] = sum;
+  }
+  for (auto& c : cdf) c /= sum;
+  cdf.back() = 1.0;  // guard against accumulated rounding
+
+  // bucket[i] = first rank whose CDF value exceeds i/B (clamped to
+  // n-1). Monotone, so one forward scan fills it.
+  constexpr std::size_t kB = detail::kZipfBuckets;
+  table->bucket.resize(kB + 1);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i <= kB; ++i) {
+    const double threshold =
+        static_cast<double>(i) / static_cast<double>(kB);
+    while (k < n && cdf[k] <= threshold) ++k;
+    table->bucket[i] =
+        static_cast<std::uint32_t>(std::min(k, n - 1));
+  }
+  return table;
+}
+
+/// Process-wide (n, s) → table memo. Building the CDF is by far the
+/// dominant cost of workload generation for large catalogs; sweeps
+/// and bench loops construct the same sampler over and over, so the
+/// first build is shared. The tables are immutable once published.
+std::shared_ptr<const detail::ZipfTable> shared_zipf_table(std::size_t n,
+                                                           double s) {
+  static std::mutex mutex;
+  static std::map<std::pair<std::size_t, double>,
+                  std::shared_ptr<const detail::ZipfTable>>
+      cache;
+  std::lock_guard lock(mutex);
+  auto& slot = cache[{n, s}];
+  if (!slot) slot = build_zipf_table(n, s);
+  return slot;
+}
+
+}  // namespace
+
 ZipfSampler::ZipfSampler(std::size_t n, double exponent_s) : s_(exponent_s) {
   GM_CHECK(n > 0, "zipf requires at least one rank");
   GM_CHECK(exponent_s >= 0.0, "zipf exponent must be non-negative");
-  cdf_.resize(n);
-  double sum = 0.0;
-  for (std::size_t k = 0; k < n; ++k) {
-    sum += 1.0 / std::pow(static_cast<double>(k + 1), s_);
-    cdf_[k] = sum;
-  }
-  for (auto& c : cdf_) c /= sum;
-  cdf_.back() = 1.0;  // guard against accumulated rounding
+  table_ = shared_zipf_table(n, exponent_s);
 }
 
 std::size_t ZipfSampler::operator()(Rng& rng) const {
   const double u = rng.uniform();
-  // First index whose CDF value exceeds u.
-  std::size_t lo = 0, hi = cdf_.size() - 1;
+  const std::vector<double>& cdf = table_->cdf;
+  // Narrow the window with the bucket index, then find the first
+  // index whose CDF value exceeds u — identical to a full-range
+  // binary search, because cdf[bucket[i+1]] > (i+1)/B > u and every
+  // rank before bucket[i] has cdf <= i/B <= u.
+  constexpr std::size_t kB = detail::kZipfBuckets;
+  const auto i = std::min(
+      static_cast<std::size_t>(u * static_cast<double>(kB)), kB - 1);
+  std::size_t lo = table_->bucket[i];
+  std::size_t hi = table_->bucket[i + 1];
   while (lo < hi) {
     const std::size_t mid = lo + (hi - lo) / 2;
-    if (cdf_[mid] <= u)
+    if (cdf[mid] <= u)
       lo = mid + 1;
     else
       hi = mid;
@@ -85,8 +137,9 @@ std::size_t ZipfSampler::operator()(Rng& rng) const {
 }
 
 double ZipfSampler::pmf(std::size_t k) const {
-  GM_CHECK(k < cdf_.size(), "zipf pmf rank out of range: " << k);
-  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+  const auto& cdf = table_->cdf;
+  GM_CHECK(k < cdf.size(), "zipf pmf rank out of range: " << k);
+  return k == 0 ? cdf[0] : cdf[k] - cdf[k - 1];
 }
 
 std::vector<double> sample_nhpp(Rng& rng, double t0, double t1,

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -28,20 +29,42 @@ double sample_weibull(Rng& rng, double shape_k, double scale_lambda);
 /// PTRS-style transformed rejection for large).
 std::int64_t sample_poisson(Rng& rng, double mean);
 
+namespace detail {
+/// Precomputed Zipf tables: the CDF plus a first-level bucket index.
+/// `bucket[i]` is the first rank whose CDF value exceeds i/B, so a
+/// draw u only binary-searches the narrow window
+/// [bucket[floor(u·B)], bucket[floor(u·B)+1]] instead of the whole
+/// table — the same result, but ~5 cache-local probes instead of ~21
+/// scattered across a multi-megabyte CDF.
+struct ZipfTable {
+  std::vector<double> cdf;
+  std::vector<std::uint32_t> bucket;  ///< size kZipfBuckets + 1
+};
+inline constexpr std::size_t kZipfBuckets = 1u << 16;
+}  // namespace detail
+
 /// Zipf(s) sampler over ranks {0, ..., n-1}: P(k) ∝ 1/(k+1)^s.
 /// Precomputes the CDF once; sampling is O(log n).
+///
+/// The tables are a pure function of (n, s) and cost n `pow` calls to
+/// build (~35 ms for the canonical 2M-object catalog), so samplers
+/// share them through a process-wide memo: constructing the same
+/// (n, s) twice — every sweep point and bench iteration does —
+/// reuses the first build instead of repeating it. The cache is
+/// mutex-guarded (sweeps generate workloads on pool workers) and the
+/// shared values are bit-identical to a private build by definition.
 class ZipfSampler {
  public:
   ZipfSampler(std::size_t n, double exponent_s);
 
   std::size_t operator()(Rng& rng) const;
-  std::size_t size() const { return cdf_.size(); }
+  std::size_t size() const { return table_->cdf.size(); }
   double exponent() const { return s_; }
   /// Probability mass of rank k.
   double pmf(std::size_t k) const;
 
  private:
-  std::vector<double> cdf_;
+  std::shared_ptr<const detail::ZipfTable> table_;
   double s_;
 };
 

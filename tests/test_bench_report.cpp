@@ -1,0 +1,216 @@
+// Tests for the machine-readable bench report path (bench/json_report):
+// record round-trip, JSONL append semantics, --json= arg stripping,
+// and gm_bench_merge-style collation into a merged array that loads
+// back losslessly.
+
+#include "json_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace gm::bench {
+namespace {
+
+/// Unique temp path per test; removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag) {
+    path_ = testing::TempDir() + "gm_bench_report_" + tag + ".json";
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+BenchRecord sample_record() {
+  BenchRecord r;
+  r.bench = "fig4_panel_sizing";
+  r.metric = "wall_ms";
+  r.value = 1234.5;
+  r.unit = "ms";
+  r.wall_ms = 1234.5;
+  r.git_sha = "abc1234";
+  return r;
+}
+
+TEST(BenchRecord, RoundTripsThroughRenderAndParse) {
+  const BenchRecord in = sample_record();
+  const BenchRecord out = parse_bench_record(render_record(in));
+  EXPECT_EQ(out.bench, in.bench);
+  EXPECT_EQ(out.metric, in.metric);
+  EXPECT_DOUBLE_EQ(out.value, in.value);
+  EXPECT_EQ(out.unit, in.unit);
+  EXPECT_DOUBLE_EQ(out.wall_ms, in.wall_ms);
+  EXPECT_EQ(out.git_sha, in.git_sha);
+}
+
+TEST(BenchRecord, EscapesSpecialCharactersInStrings) {
+  BenchRecord in = sample_record();
+  in.bench = "quote\" backslash\\ newline\n";
+  const std::string line = render_record(in);
+  EXPECT_EQ(line.find('\n'), std::string::npos)
+      << "record must stay a single line";
+  EXPECT_EQ(parse_bench_record(line).bench, in.bench);
+}
+
+TEST(BenchRecord, ParseToleratesMissingAndUnknownKeys) {
+  const BenchRecord r = parse_bench_record(
+      R"({"bench":"x","extra":42})");
+  EXPECT_EQ(r.bench, "x");
+  EXPECT_EQ(r.metric, "");
+  EXPECT_DOUBLE_EQ(r.value, 0.0);
+  EXPECT_EQ(r.git_sha, "");
+}
+
+TEST(BenchRecord, ParseRejectsMalformedLine) {
+  EXPECT_THROW(parse_bench_record("not json"), RuntimeError);
+}
+
+TEST(BenchReportWriter, AppendsAcrossWriterInstances) {
+  TempFile file("append");
+  {
+    BenchReportWriter w(file.path());
+    w.append(sample_record());
+    EXPECT_EQ(w.records_written(), 1u);
+  }
+  {
+    // A second binary targeting the same file must not truncate it.
+    BenchReportWriter w(file.path());
+    BenchRecord second = sample_record();
+    second.bench = "fig5_battery_sizing";
+    w.append(second);
+  }
+  const auto records = read_report(file.path());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].bench, "fig4_panel_sizing");
+  EXPECT_EQ(records[1].bench, "fig5_battery_sizing");
+}
+
+TEST(BenchReportWriter, ThrowsWhenPathUnwritable) {
+  EXPECT_THROW(BenchReportWriter("/nonexistent-dir/report.jsonl"),
+               RuntimeError);
+}
+
+TEST(ReadReport, ThrowsOnMissingFile) {
+  EXPECT_THROW(read_report("/nonexistent-dir/nothing.jsonl"),
+               RuntimeError);
+}
+
+TEST(WriterFromArgs, StripsJsonFlagAndKeepsOtherArgs) {
+  TempFile file("args");
+  const std::string json_arg = "--json=" + file.path();
+  std::string a0 = "bench", a1 = "--foo", a3 = "bar";
+  char* argv[] = {a0.data(), a1.data(),
+                  const_cast<char*>(json_arg.c_str()), a3.data(),
+                  nullptr};
+  int argc = 4;
+  auto writer = writer_from_args(argc, argv);
+  ASSERT_NE(writer, nullptr);
+  EXPECT_EQ(writer->path(), file.path());
+  ASSERT_EQ(argc, 3);
+  EXPECT_STREQ(argv[0], "bench");
+  EXPECT_STREQ(argv[1], "--foo");
+  EXPECT_STREQ(argv[2], "bar");
+  EXPECT_EQ(argv[3], nullptr);
+}
+
+TEST(WriterFromArgs, ReturnsNullWithoutFlag) {
+  std::string a0 = "bench";
+  char* argv[] = {a0.data(), nullptr};
+  int argc = 1;
+  EXPECT_EQ(writer_from_args(argc, argv), nullptr);
+  EXPECT_EQ(argc, 1);
+}
+
+TEST(ExhibitReporter, NoJsonFlagMeansNoOutput) {
+  std::string a0 = "bench";
+  char* argv[] = {a0.data(), nullptr};
+  int argc = 1;
+  ExhibitReporter reporter("exhibit", argc, argv);
+  EXPECT_FALSE(reporter.enabled());
+  reporter.metric("ignored", 1.0);  // must be a no-op, not a crash
+}
+
+TEST(ExhibitReporter, WritesMetricsAndWallTimeOnDestruction) {
+  TempFile file("exhibit");
+  const std::string json_arg = "--json=" + file.path();
+  std::string a0 = "bench";
+  char* argv[] = {a0.data(), const_cast<char*>(json_arg.c_str()),
+                  nullptr};
+  int argc = 2;
+  {
+    ExhibitReporter reporter("tab2_policy_comparison", argc, argv);
+    EXPECT_TRUE(reporter.enabled());
+    EXPECT_EQ(argc, 1);
+    reporter.metric("green_utilization", 62.26, "%");
+  }
+  const auto records = read_report(file.path());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].metric, "green_utilization");
+  EXPECT_DOUBLE_EQ(records[0].value, 62.26);
+  EXPECT_EQ(records[0].unit, "%");
+  EXPECT_EQ(records[1].metric, "wall_ms");
+  EXPECT_EQ(records[1].unit, "ms");
+  EXPECT_GE(records[1].value, 0.0);
+  for (const auto& r : records) {
+    EXPECT_EQ(r.bench, "tab2_policy_comparison");
+    EXPECT_EQ(r.git_sha, current_git_sha());
+  }
+}
+
+TEST(Merge, CollatesFilesInInputOrderAndRoundTrips) {
+  TempFile a("merge_a"), b("merge_b"), merged("merge_out");
+  {
+    BenchReportWriter wa(a.path());
+    BenchRecord r = sample_record();
+    wa.append(r);
+    r.metric = "green_utilization";
+    r.unit = "%";
+    wa.append(r);
+    BenchReportWriter wb(b.path());
+    r = sample_record();
+    r.bench = "BM_GreenMatchPlanDay";
+    r.metric = "real_time";
+    wb.append(r);
+  }
+  const auto records = merge_reports({a.path(), b.path()});
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].metric, "wall_ms");
+  EXPECT_EQ(records[1].metric, "green_utilization");
+  EXPECT_EQ(records[2].bench, "BM_GreenMatchPlanDay");
+
+  write_merged_json(records, merged.path());
+  // The merged array must itself load back (so a checked-in baseline
+  // can be re-merged with fresh records) and survive a second merge
+  // unchanged.
+  const auto reloaded = read_report(merged.path());
+  ASSERT_EQ(reloaded.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(reloaded[i].bench, records[i].bench);
+    EXPECT_EQ(reloaded[i].metric, records[i].metric);
+    EXPECT_DOUBLE_EQ(reloaded[i].value, records[i].value);
+  }
+  std::ifstream in(merged.path());
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_EQ(first_line, "[") << "merged output is a JSON array";
+}
+
+TEST(Merge, EmptyInputsProduceEmptyArray) {
+  TempFile empty("merge_empty"), merged("merge_empty_out");
+  std::ofstream(empty.path()) << "";
+  write_merged_json(merge_reports({empty.path()}), merged.path());
+  EXPECT_TRUE(read_report(merged.path()).empty());
+}
+
+}  // namespace
+}  // namespace gm::bench

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Checks that every relative markdown link in the repo resolves.
+
+Scans all *.md files (build trees and dot-directories excluded),
+extracts inline links, ignores external URLs and same-file anchors,
+and verifies the linked file or directory exists. Exits non-zero
+listing every broken link. Stdlib only, so CI needs nothing but
+python3.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+FENCE = re.compile(r"```.*?```", re.S)
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def md_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        parts = path.relative_to(root).parts
+        if any(p.startswith((".", "build")) for p in parts[:-1]):
+            continue
+        yield path
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    broken = []
+    checked = 0
+    for md in md_files(root):
+        text = FENCE.sub("", md.read_text(encoding="utf-8"))
+        for match in LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(EXTERNAL):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:  # same-file anchor
+                continue
+            checked += 1
+            if not (md.parent / path).resolve().exists():
+                broken.append(f"{md.relative_to(root)}: {target}")
+    if broken:
+        print("broken markdown links:")
+        for entry in broken:
+            print(f"  {entry}")
+        return 1
+    print(f"{checked} relative links OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# Extracts the first ```cpp block from README.md, wraps its statements
+# in a main(), and compiles the result against src/ headers — so the
+# quickstart snippet drifting from the real API fails CI instead of
+# greeting new users with a compile error.
+set -eu
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+awk '/^```cpp$/ { in_block = 1; next }
+     /^```$/    { if (in_block) exit }
+     in_block   { print }' "$repo/README.md" > "$work/snippet.cpp"
+test -s "$work/snippet.cpp" || {
+  echo "no \`\`\`cpp block found in README.md" >&2
+  exit 1
+}
+
+{
+  echo '#include <iostream>'
+  grep '^#include' "$work/snippet.cpp"
+  grep '^using ' "$work/snippet.cpp" || true
+  echo 'int main() {'
+  grep -v -e '^#include' -e '^using ' "$work/snippet.cpp"
+  echo 'return 0; }'
+} > "$work/quickstart_main.cpp"
+
+"${CXX:-c++}" -std=c++20 -I "$repo/src" -c \
+  "$work/quickstart_main.cpp" -o "$work/quickstart_main.o"
+echo "README quickstart snippet compiles"

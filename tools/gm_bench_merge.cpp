@@ -1,0 +1,54 @@
+// gm_bench_merge — collate per-binary bench reports (JSONL files
+// written via `--json=`) into one pretty-printed JSON array, e.g. the
+// checked-in BENCH_PR3.json perf baseline.
+//
+//   gm_bench_merge --out=BENCH.json report1.jsonl report2.jsonl ...
+//
+// Inputs may be JSONL or previously merged arrays (so a baseline file
+// can be re-merged with fresh records). Records keep input order;
+// rerunning on the same inputs reproduces the same output.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "json_report.hpp"
+#include "util/assert.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --out=FILE report.jsonl [report2.jsonl ...]\n"
+               "Collates bench --json reports into one JSON array.\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char kOut[] = "--out=";
+    if (std::strncmp(argv[i], kOut, sizeof(kOut) - 1) == 0)
+      out_path.assign(argv[i] + sizeof(kOut) - 1);
+    else if (argv[i][0] == '-')
+      return usage(argv[0]);
+    else
+      inputs.emplace_back(argv[i]);
+  }
+  if (out_path.empty() || inputs.empty()) return usage(argv[0]);
+
+  try {
+    const auto records = gm::bench::merge_reports(inputs);
+    gm::bench::write_merged_json(records, out_path);
+    std::cout << "merged " << records.size() << " records from "
+              << inputs.size() << " file(s) into " << out_path << "\n";
+  } catch (const gm::RuntimeError& e) {
+    std::cerr << "gm_bench_merge: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -67,7 +67,9 @@ bool parse_jobs(const std::string& text, std::size_t& jobs) {
 int main(int argc, char** argv) {
   if (argc < 3) {
     std::cout << "usage: greenmatch_sweep <key> <v1,v2,...> "
-                 "[config-file] [key=value ...] [--jobs=N]\n\nKeys:\n"
+                 "[config-file] [key=value ...] [--jobs=N]\n"
+                 "                      [--trace=FILE] [--metrics=FILE] "
+                 "[--profile]\n\nKeys:\n"
               << gm::core::config_keys_help();
     return argc == 1 ? 0 : 2;
   }
