@@ -92,6 +92,17 @@ struct ExperimentConfig {
   /// deadline misses.
   int max_drain_slots = 36;
 
+  // --- correctness testing -------------------------------------------
+  /// TEST-ONLY energy leak: on every slot with nonzero green supply,
+  /// this many joules are added to the recorded curtailment without
+  /// existing anywhere else, breaking the supply-split identity by an
+  /// amount small enough to slip past the ledger's relative-tolerance
+  /// check (which scales with the ~1e7 J slot energies). Exercises
+  /// gm::audit and the golden corpus (both must catch it);
+  /// deliberately NOT reachable from the config-file key space. Leave
+  /// at 0 for real runs.
+  Joules test_leak_j_per_slot = 0.0;
+
   // --- failure injection ---------------------------------------------
   std::vector<NodeFailureEvent> node_failures;
   /// Re-replication rate: a failed node's groups are repaired at this

@@ -43,6 +43,19 @@ energy::BatteryConfig parse_battery(const std::string& technology,
                         "'");
 }
 
+/// The config-file spelling of a battery's technology — also the
+/// default `battery.technology` in apply_config, so re-applying a kv
+/// set that omits the key is a no-op for the technology (an in-memory
+/// ideal battery must not silently become lithium-ion).
+std::string echo_battery_technology(const energy::BatteryConfig& b) {
+  switch (b.technology) {
+    case energy::BatteryTechnology::kLeadAcid: return "la";
+    case energy::BatteryTechnology::kLithiumIon: return "li";
+    case energy::BatteryTechnology::kCustom: return "ideal";
+  }
+  return "li";
+}
+
 }  // namespace
 
 void apply_config(ExperimentConfig& config, const KeyValueConfig& kv) {
@@ -95,16 +108,19 @@ void apply_config(ExperimentConfig& config, const KeyValueConfig& kv) {
       "wind.horizon_days", config.wind.horizon_days));
 
   // --- battery -------------------------------------------------------
+  // Rebuilding from the preset resets every battery field, so the
+  // defaults must come from the *incoming* config, not the freshly
+  // built preset: the technology via its echo spelling (kCustom/ideal
+  // must survive a re-apply) and the initial SoC captured before the
+  // rebuild overwrites it.
   const double battery_kwh = kv.get_double_or(
       "battery.kwh", j_to_kwh(config.battery.capacity_j));
   const std::string technology = kv.get_string_or(
-      "battery.technology",
-      config.battery.technology == energy::BatteryTechnology::kLeadAcid
-          ? "la"
-          : "li");
+      "battery.technology", echo_battery_technology(config.battery));
+  const double prior_initial_soc = config.battery.initial_soc_fraction;
   config.battery = parse_battery(technology, battery_kwh);
   config.battery.initial_soc_fraction = kv.get_double_or(
-      "battery.initial_soc", config.battery.initial_soc_fraction);
+      "battery.initial_soc", prior_initial_soc);
 
   // --- policy --------------------------------------------------------
   if (const auto kind = kv.get_string("policy.kind"))
@@ -184,15 +200,6 @@ std::string echo_num(double v) {
 
 std::string echo_bool(bool v) { return v ? "true" : "false"; }
 
-std::string echo_battery_technology(const energy::BatteryConfig& b) {
-  switch (b.technology) {
-    case energy::BatteryTechnology::kLeadAcid: return "la";
-    case energy::BatteryTechnology::kLithiumIon: return "li";
-    case energy::BatteryTechnology::kCustom: return "ideal";
-  }
-  return "li";
-}
-
 }  // namespace
 
 std::vector<std::pair<std::string, std::string>> config_echo(
@@ -229,6 +236,7 @@ std::vector<std::pair<std::string, std::string>> config_echo(
   add("policy.horizon", std::to_string(c.policy.horizon_slots));
   add("policy.battery_aware", echo_bool(c.policy.battery_aware));
   add("policy.carbon_aware", echo_bool(c.policy.carbon_aware));
+  add("grid.profile", c.grid.profile);
   add("policy.window_start_h", echo_num(c.policy.window_start_h));
   add("policy.window_end_h", echo_num(c.policy.window_end_h));
   add("sim.fidelity",

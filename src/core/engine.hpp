@@ -94,6 +94,15 @@ class SimulationEngine {
   const energy::PowerSource& supply() const { return *supply_; }
   obs::Recorder* recorder() const { return recorder_.get(); }
 
+  // --- audit surface (gm::audit, valid after finalize() too) --------
+  /// The validated config the run executed with (failure events
+  /// sorted, unlike the constructor argument).
+  const ExperimentConfig& config() const { return config_; }
+  /// Battery with its internal loss/throughput counters.
+  const energy::Battery& battery() const { return battery_; }
+  /// Grid meter: total import, carbon, cost.
+  const energy::GridMeter& grid_meter() const { return grid_; }
+
  private:
   struct TaskState {
     PendingTask pending;

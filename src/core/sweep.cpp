@@ -62,7 +62,12 @@ std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
     if (obs_config.any_enabled())
       recorder = std::make_shared<obs::Recorder>(obs_config);
 
-    point.result = run_experiment(configs[i], recorder).result;
+    // Construct the engine explicitly (rather than run_experiment) so
+    // the post_run hook can read its audit surface after the run.
+    SimulationEngine engine(configs[i], recorder);
+    const RunArtifacts artifacts = engine.run();
+    point.result = artifacts.result;
+    if (spec.post_run) spec.post_run(i, point.value, engine, artifacts);
     if (recorder) {
       recorder->finish();
       if (spec.profile) {

@@ -8,6 +8,7 @@
 // scheduling.
 
 #include <cstddef>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -16,6 +17,9 @@
 #include "metrics/report.hpp"
 
 namespace gm::core {
+
+class SimulationEngine;
+struct RunArtifacts;
 
 struct SweepSpec {
   std::string key;                  ///< config key being swept
@@ -28,6 +32,16 @@ struct SweepSpec {
   bool profile = false;
   /// Worker threads; 0 = hardware concurrency, 1 = serial.
   std::size_t jobs = 0;
+  /// Optional end-of-run hook, called once per point — on the worker
+  /// thread, before the point's artifacts are discarded — with the
+  /// finished engine still alive. This is how layers above gm_core
+  /// (gm::audit behind `greenmatch_sweep --audit`) inspect full run
+  /// state without the sweep core depending on them. The callback must
+  /// be safe to invoke from several workers concurrently.
+  std::function<void(std::size_t index, const std::string& value,
+                     const SimulationEngine& engine,
+                     const RunArtifacts& artifacts)>
+      post_run;
 };
 
 struct SweepPoint {

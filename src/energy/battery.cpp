@@ -123,8 +123,16 @@ Joules Battery::charge(Joules offered_j, Seconds dt) {
   GM_CHECK(offered_j >= 0.0, "cannot charge negative energy");
   const Joules drawn = std::min(offered_j, charge_capacity_j(dt));
   const Joules stored_gain = drawn * config_.charge_efficiency;
-  stored_j_ = std::min(stored_j_ + stored_gain,
-                       effective_usable_capacity_j());
+  // The capacity clamp can discard stored energy: by rounding (the
+  // headroom cap divides by σ, this path multiplies), and wholesale
+  // when health fade has pulled the effective capacity below the
+  // current SoC. Those joules must stay on the books — as clamp loss —
+  // or total_in − total_out stops matching Δstored + losses.
+  const Joules unclamped = stored_j_ + stored_gain;
+  const Joules clamped =
+      std::min(unclamped, effective_usable_capacity_j());
+  clamp_loss_j_ += unclamped - clamped;
+  stored_j_ = clamped;
   total_in_j_ += drawn;
   conversion_loss_j_ += drawn - stored_gain;
   return drawn;

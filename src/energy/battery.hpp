@@ -102,6 +102,13 @@ class Battery {
   Joules total_discharged_out_j() const { return total_out_j_; }
   Joules conversion_loss_j() const { return conversion_loss_j_; }
   Joules self_discharge_loss_j() const { return self_loss_j_; }
+  /// Stored energy discarded by the capacity clamp in charge():
+  /// rounding past the effective capacity, and — when health fade has
+  /// dropped the effective capacity below the current SoC — the excess
+  /// stored energy written off. Without this term the conservation
+  /// identity `total_in − total_out = Δstored + conversion_loss +
+  /// self_loss` silently leaks.
+  Joules clamp_loss_j() const { return clamp_loss_j_; }
   /// Equivalent full cycles = discharged energy / usable capacity.
   double equivalent_cycles() const;
 
@@ -121,6 +128,7 @@ class Battery {
   Joules total_out_j_ = 0.0;
   Joules conversion_loss_j_ = 0.0;
   Joules self_loss_j_ = 0.0;
+  Joules clamp_loss_j_ = 0.0;
 };
 
 }  // namespace gm::energy

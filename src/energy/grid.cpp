@@ -6,6 +6,7 @@ namespace gm::energy {
 
 GridConfig GridConfig::flat(double g_per_kwh) {
   GridConfig c;
+  c.profile = "flat";
   c.carbon_g_per_kwh =
       PiecewiseLinear({0.0, 24.0}, {g_per_kwh, g_per_kwh});
   return c;
@@ -13,6 +14,7 @@ GridConfig GridConfig::flat(double g_per_kwh) {
 
 GridConfig GridConfig::wind_heavy() {
   GridConfig c;
+  c.profile = "wind-heavy";
   // Night wind surplus, evening fossil peakers.
   c.carbon_g_per_kwh = PiecewiseLinear(
       {0.0, 4.0, 8.0, 12.0, 16.0, 19.0, 22.0, 24.0},
@@ -22,6 +24,7 @@ GridConfig GridConfig::wind_heavy() {
 
 GridConfig GridConfig::solar_heavy() {
   GridConfig c;
+  c.profile = "solar-heavy";
   // Utility solar floods the midday grid; nights run on fossil.
   c.carbon_g_per_kwh = PiecewiseLinear(
       {0.0, 6.0, 9.0, 12.0, 15.0, 18.0, 21.0, 24.0},

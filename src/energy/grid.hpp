@@ -3,6 +3,8 @@
 // intensity and price profiles, so reports can state both kWh and the
 // carbon/cost consequences of a policy.
 
+#include <string>
+
 #include "util/math_utils.hpp"
 #include "util/time_types.hpp"
 #include "util/units.hpp"
@@ -17,6 +19,9 @@ struct GridConfig {
   /// Price by hour of day, USD per kWh. Default flat 0.12 $/kWh.
   PiecewiseLinear price_usd_per_kwh{std::vector<double>{0.0, 24.0},
                                     std::vector<double>{0.12, 0.12}};
+  /// Preset name, carried so config_echo / run manifests can state
+  /// which grid.profile reproduces a carbon-aware run.
+  std::string profile = "flat";
 
   /// Presets for the carbon-aware experiments.
   static GridConfig flat(double g_per_kwh = 300.0);

@@ -24,6 +24,10 @@ struct QosReport {
   std::uint64_t tasks_total = 0;
   std::uint64_t tasks_completed = 0;
   std::uint64_t deadline_misses = 0;
+  /// Tasks still pending when the run horizon ended (each is also
+  /// counted as a deadline miss). tasks_total = tasks_completed +
+  /// tasks_unfinished is an audited invariant.
+  std::uint64_t tasks_unfinished = 0;
   double deadline_miss_rate() const {
     return tasks_total ? static_cast<double>(deadline_misses) /
                              static_cast<double>(tasks_total)
@@ -39,6 +43,10 @@ struct BatteryReport {
   Joules discharged_out_j = 0.0;
   Joules conversion_loss_j = 0.0;
   Joules self_discharge_loss_j = 0.0;
+  /// Stored energy written off by the capacity clamp (health fade /
+  /// rounding) — see Battery::clamp_loss_j().
+  Joules clamp_loss_j = 0.0;
+  Joules initial_stored_j = 0.0;
   Joules final_stored_j = 0.0;
   double equivalent_cycles = 0.0;
   double health_fraction = 1.0;  ///< remaining capacity / nameplate
@@ -78,6 +86,7 @@ struct RunResult {
   double losses_kwh() const {
     return j_to_kwh(battery.conversion_loss_j +
                     battery.self_discharge_loss_j +
+                    battery.clamp_loss_j +
                     energy.overhead_transition_j +
                     energy.overhead_migration_j);
   }

@@ -113,6 +113,21 @@ void Recorder::record_slot(const SlotSample& s) {
   trace_->emit(record);
 }
 
+void Recorder::record_audit(const AuditSample& s) {
+  metrics_.counter_add("audit.checks");
+  if (!s.passed) metrics_.counter_add("audit.failures");
+  if (!trace_) return;
+  JsonObject record;
+  record.set("kind", "audit")
+      .set("check", s.check)
+      .set("passed", s.passed)
+      .set("lhs", s.lhs)
+      .set("rhs", s.rhs)
+      .set("tolerance", s.tolerance)
+      .set("detail", s.detail);
+  trace_->emit(record);
+}
+
 void Recorder::write_manifest(const ManifestInfo& info) {
   if (config_.manifest_path.empty()) return;
   std::ofstream out(config_.manifest_path);

@@ -85,6 +85,18 @@ struct SlotSample {
   std::int64_t node_failures = 0;
 };
 
+/// One gm::audit check outcome, in the flat shape the trace/metrics
+/// layer understands (the audit subsystem sits above obs and converts
+/// its findings into these before emission).
+struct AuditSample {
+  std::string check;    ///< identity name, e.g. "battery.identity"
+  bool passed = true;
+  double lhs = 0.0;     ///< the two sides that were compared
+  double rhs = 0.0;
+  double tolerance = 0.0;
+  std::string detail;   ///< human-readable context (slot, term, ...)
+};
+
 /// What the manifest records about a run besides the config echo.
 struct ManifestInfo {
   std::vector<std::pair<std::string, std::string>> config_echo;
@@ -138,6 +150,11 @@ class Recorder {
   /// Appends the per-slot record to the trace and feeds the registry's
   /// slot-level series.
   void record_slot(const SlotSample& sample);
+
+  /// Appends one `kind=audit` record to the trace (when tracing) and
+  /// counts it into the registry (`audit.checks` / `audit.failures`),
+  /// so a traced `--audit` run carries its own conservation verdicts.
+  void record_audit(const AuditSample& sample);
 
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }

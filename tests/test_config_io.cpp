@@ -175,5 +175,74 @@ TEST(ConfigIo, HelpMentionsEveryKeyFamily) {
     EXPECT_NE(help.find(family), std::string::npos) << family;
 }
 
+// ----------------------------------------- echo / re-apply regressions
+
+namespace {
+std::string echoed(const core::ExperimentConfig& config,
+                   const std::string& key) {
+  for (const auto& [k, v] : core::config_echo(config))
+    if (k == key) return v;
+  ADD_FAILURE() << "config_echo has no key " << key;
+  return {};
+}
+}  // namespace
+
+// Regression: apply_config used to default battery.technology to "li"
+// whenever the current technology wasn't lead-acid, so re-applying an
+// unrelated key to an ideal-battery config silently swapped the
+// battery for a lithium-ion one.
+TEST(ConfigIo, ReapplyPreservesIdealBatteryTechnology) {
+  auto config = core::ExperimentConfig::canonical();
+  core::apply_config(config,
+                     KeyValueConfig::parse("battery.technology = ideal\n"
+                                           "battery.kwh = 20\n"));
+  ASSERT_EQ(config.battery.technology,
+            energy::BatteryTechnology::kCustom);
+  ASSERT_DOUBLE_EQ(config.battery.charge_efficiency, 1.0);
+
+  // Touch an unrelated key; the battery must survive untouched.
+  core::apply_config(config, KeyValueConfig::parse("workload.days = 3\n"));
+  EXPECT_EQ(config.battery.technology,
+            energy::BatteryTechnology::kCustom);
+  EXPECT_DOUBLE_EQ(config.battery.charge_efficiency, 1.0);
+  EXPECT_DOUBLE_EQ(config.battery.depth_of_discharge, 1.0);
+  EXPECT_DOUBLE_EQ(j_to_kwh(config.battery.capacity_j), 20.0);
+}
+
+// Regression: re-applying also used to reset initial_soc to the fresh
+// preset's zero rather than keeping the configured value.
+TEST(ConfigIo, ReapplyPreservesInitialSoc) {
+  auto config = core::ExperimentConfig::canonical();
+  core::apply_config(config,
+                     KeyValueConfig::parse("battery.kwh = 40\n"
+                                           "battery.initial_soc = 0.5\n"));
+  ASSERT_DOUBLE_EQ(config.battery.initial_soc_fraction, 0.5);
+  core::apply_config(config, KeyValueConfig::parse("workload.days = 2\n"));
+  EXPECT_DOUBLE_EQ(config.battery.initial_soc_fraction, 0.5);
+}
+
+// Regression: config_echo omitted grid.profile, so a manifest replay of
+// a carbon-aware run silently fell back to the flat grid.
+TEST(ConfigIo, EchoIncludesGridProfile) {
+  auto config = core::ExperimentConfig::canonical();
+  EXPECT_EQ(echoed(config, "grid.profile"), "flat");
+  core::apply_config(
+      config, KeyValueConfig::parse("grid.profile = wind-heavy\n"));
+  EXPECT_EQ(echoed(config, "grid.profile"), "wind-heavy");
+  // Presets assigned through the C++ API carry their name too.
+  config.grid = energy::GridConfig::solar_heavy();
+  EXPECT_EQ(echoed(config, "grid.profile"), "solar-heavy");
+}
+
+TEST(ConfigIo, EchoBatteryTechnologyNamesEveryPreset) {
+  auto config = core::ExperimentConfig::canonical();
+  config.battery = energy::BatteryConfig::lead_acid(kwh_to_j(10));
+  EXPECT_EQ(echoed(config, "battery.technology"), "la");
+  config.battery = energy::BatteryConfig::lithium_ion(kwh_to_j(10));
+  EXPECT_EQ(echoed(config, "battery.technology"), "li");
+  config.battery = energy::BatteryConfig::ideal(kwh_to_j(10));
+  EXPECT_EQ(echoed(config, "battery.technology"), "ideal");
+}
+
 }  // namespace
 }  // namespace gm

@@ -251,6 +251,43 @@ TEST_P(BatteryConservation, EnergyIsConserved) {
   }
 }
 
+// The closed identity audited by gm::audit at end of run, here driven
+// directly with fade and the capacity-clamp writeoff in play:
+//   total_in − total_out = Δstored + conversion + self + clamp
+// to 1e-9 relative at every step.
+TEST_P(BatteryConservation, ClosedIdentityHoldsUnderFadeAndClamp) {
+  const auto param = GetParam();
+  BatteryConfig config =
+      param.tech == BatteryTechnology::kLeadAcid
+          ? BatteryConfig::lead_acid(kwh_to_j(param.capacity_kwh))
+          : BatteryConfig::lithium_ion(kwh_to_j(param.capacity_kwh));
+  config.initial_soc_fraction = 0.6;
+  config.cycle_life_cycles = 20.0;  // brutal fade: clamp writeoffs fire
+  Battery b(config);
+
+  double phase = 0.7;
+  for (int step = 0; step < 800; ++step) {
+    phase = phase * 3.97 * (1.0 - phase);  // logistic chaos in (0,1)
+    const Joules amount = kwh_to_j(8.0 * phase);
+    if (step % 4 == 0)
+      b.discharge(amount, 1800.0);
+    else
+      b.charge(amount, 1800.0);
+    if (step % 7 == 0) b.apply_self_discharge(1800.0);
+
+    const Joules lhs =
+        b.total_charged_in_j() - b.total_discharged_out_j();
+    const Joules rhs = (b.stored_j() - b.initial_stored_j()) +
+                       b.conversion_loss_j() +
+                       b.self_discharge_loss_j() + b.clamp_loss_j();
+    EXPECT_NEAR(lhs, rhs, 1e-9 * std::max(1.0, std::abs(lhs)))
+        << "step " << step;
+    EXPECT_GE(b.clamp_loss_j(), 0.0);
+  }
+  // Fade actually engaged, so the clamp term was exercised, not idle.
+  EXPECT_LT(b.health_fraction(), 1.0);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     TechAndSize, BatteryConservation,
     ::testing::Values(BatteryCase{BatteryTechnology::kLeadAcid, 1.0},
@@ -259,6 +296,30 @@ INSTANTIATE_TEST_SUITE_P(
                       BatteryCase{BatteryTechnology::kLithiumIon, 1.0},
                       BatteryCase{BatteryTechnology::kLithiumIon, 40.0},
                       BatteryCase{BatteryTechnology::kLithiumIon, 150.0}));
+
+// Directed regression for the fade-writeoff path fixed in this change:
+// charge() used to clamp stored energy to the (faded) capacity and
+// silently drop the difference. It must be booked as clamp loss and
+// the identity must still close.
+TEST(Battery, FadeWriteoffIsBookedAsClampLoss) {
+  BatteryConfig c = BatteryConfig::lithium_ion(kwh_to_j(10.0));
+  c.initial_soc_fraction = 1.0;
+  c.cycle_life_cycles = 0.1;  // one small discharge strands the SoC
+  Battery b(c);
+
+  b.discharge(kwh_to_j(0.5), 3600.0);
+  // Fade outran the discharge: stored now exceeds effective capacity.
+  ASSERT_GT(b.stored_j(), b.effective_usable_capacity_j());
+
+  b.charge(kwh_to_j(1.0), 3600.0);  // no headroom: pure writeoff
+  EXPECT_DOUBLE_EQ(b.stored_j(), b.effective_usable_capacity_j());
+  EXPECT_GT(b.clamp_loss_j(), 0.0);
+  const Joules lhs = b.total_charged_in_j() - b.total_discharged_out_j();
+  const Joules rhs = (b.stored_j() - b.initial_stored_j()) +
+                     b.conversion_loss_j() + b.self_discharge_loss_j() +
+                     b.clamp_loss_j();
+  EXPECT_NEAR(lhs, rhs, 1e-9 * std::max(1.0, std::abs(lhs)));
+}
 
 }  // namespace
 }  // namespace gm::energy

@@ -1,0 +1,282 @@
+// gm_golden — golden-output regression harness (docs/correctness.md).
+//
+//   gm_golden [--dir=PATH] [--case=SUBSTR] [--list] [--update]
+//
+// Runs a fixed corpus of canonical configurations (three policies ×
+// battery presets × wind/MAID/carbon variants), renders each run to a
+// normalized text form (config echo + run summary + per-slot ledger
+// CSV at full round-trip precision) and diffs it against the
+// checked-in file tests/golden/<case>.txt. Any drift — an energy
+// value, a task count, a config key — fails the case with the first
+// differing line. Because the slot CSV carries 17 significant digits,
+// even a 1e-3 J/slot accounting leak (~1e-10 relative) shows up as a
+// diff.
+//
+// Every case also runs the gm::audit conservation checks and the
+// config round-trip fixed-point check, so the corpus cannot be
+// regenerated into a self-consistent-but-wrong state without tripping
+// the independent books.
+//
+//   --dir=PATH     corpus directory (default: tests/golden, resolved
+//                  against the current working directory)
+//   --case=SUBSTR  only cases whose name contains SUBSTR
+//   --list         print case names and exit
+//   --update       rewrite the corpus from the current build (use
+//                  after an intentional behavior change; review the
+//                  diff before committing)
+//
+// Exit codes: 0 all green, 2 usage error, 3 golden mismatch or
+// missing file, 4 audit/round-trip failure.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "audit/audit.hpp"
+#include "core/config_io.hpp"
+#include "core/engine.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+struct GoldenCase {
+  std::string name;
+  /// key=value overrides applied on top of the canonical config.
+  std::vector<std::pair<std::string, std::string>> overrides;
+};
+
+/// The corpus. Two simulated days keep each case under a second while
+/// still covering two full diurnal cycles plus the drain window; the
+/// half-full initial SoC suppresses the cold-start artifact that would
+/// otherwise dominate short runs. Names are file stems in --dir.
+std::vector<GoldenCase> golden_cases() {
+  const std::vector<std::pair<std::string, std::string>> common = {
+      {"workload.days", "2"},
+      {"battery.initial_soc", "0.5"},
+  };
+  const auto with = [&common](
+      std::initializer_list<std::pair<std::string, std::string>> extra) {
+    std::vector<std::pair<std::string, std::string>> all = common;
+    all.insert(all.end(), extra.begin(), extra.end());
+    return all;
+  };
+  return {
+      {"asap-li40",
+       with({{"policy.kind", "asap"}, {"battery.kwh", "40"}})},
+      {"opportunistic-li40",
+       with({{"policy.kind", "opportunistic"}, {"battery.kwh", "40"}})},
+      {"greenmatch-li40",
+       with({{"policy.kind", "greenmatch"}, {"battery.kwh", "40"}})},
+      {"greenmatch-la40",
+       with({{"policy.kind", "greenmatch"},
+             {"battery.technology", "la"},
+             {"battery.kwh", "40"}})},
+      {"greenmatch-ideal20",
+       with({{"policy.kind", "greenmatch"},
+             {"battery.technology", "ideal"},
+             {"battery.kwh", "20"}})},
+      {"greenmatch-wind",
+       with({{"policy.kind", "greenmatch"},
+             {"wind.enabled", "true"},
+             {"battery.kwh", "40"}})},
+      {"greenmatch-maid",
+       with({{"policy.kind", "greenmatch"},
+             {"sim.maid", "true"},
+             {"battery.kwh", "40"}})},
+      {"greenmatch-carbon-event",
+       with({{"policy.kind", "greenmatch"},
+             {"policy.carbon_aware", "true"},
+             {"grid.profile", "wind-heavy"},
+             {"sim.fidelity", "event"},
+             {"battery.kwh", "40"}})},
+  };
+}
+
+gm::core::ExperimentConfig build_config(const GoldenCase& c) {
+  gm::core::ExperimentConfig config =
+      gm::core::ExperimentConfig::canonical();
+  gm::KeyValueConfig kv;
+  for (const auto& [key, value] : c.overrides) kv.set(key, value);
+  gm::core::apply_config(config, kv);
+  return config;
+}
+
+/// The normalized text form a case is diffed in. Everything printed is
+/// deterministic: the config echo, the fixed-precision summary, and
+/// the slot ledger at CsvWriter's full round-trip float precision.
+std::string render(const GoldenCase& c,
+                   const gm::core::ExperimentConfig& config,
+                   const gm::core::RunArtifacts& artifacts) {
+  std::ostringstream out;
+  out << "# gm_golden case: " << c.name << "\n";
+  out << "# config\n";
+  for (const auto& [key, value] : gm::core::config_echo(config))
+    out << key << " = " << value << "\n";
+  out << "# summary\n";
+  artifacts.result.print_summary(out);
+  out << "# slots\n";
+  gm::CsvWriter csv(out);
+  csv.field("slot").field("start_s").field("demand_kwh")
+      .field("green_supply_kwh").field("green_direct_kwh")
+      .field("battery_in_kwh").field("battery_out_kwh")
+      .field("brown_kwh").field("curtailed_kwh")
+      .field("battery_soc_kwh").field("active_nodes");
+  csv.end_row();
+  const auto& slots = artifacts.ledger.slots();
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const auto& s = slots[i];
+    csv.field(s.slot)
+        .field(s.start)
+        .field(gm::j_to_kwh(s.demand_j))
+        .field(gm::j_to_kwh(s.green_supply_j))
+        .field(gm::j_to_kwh(s.green_direct_j))
+        .field(gm::j_to_kwh(s.battery_charge_drawn_j))
+        .field(gm::j_to_kwh(s.battery_discharged_j))
+        .field(gm::j_to_kwh(s.brown_j))
+        .field(gm::j_to_kwh(s.curtailed_j))
+        .field(gm::j_to_kwh(s.battery_stored_end_j))
+        .field(static_cast<std::int64_t>(
+            artifacts.active_nodes_per_slot[i]));
+    csv.end_row();
+  }
+  return out.str();
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+/// Prints a unified-ish first-difference report; returns true when the
+/// texts match.
+bool diff_report(const std::string& expected,
+                 const std::string& actual) {
+  if (expected == actual) return true;
+  const auto want = split_lines(expected);
+  const auto got = split_lines(actual);
+  const std::size_t n = std::max(want.size(), got.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string* w = i < want.size() ? &want[i] : nullptr;
+    const std::string* g = i < got.size() ? &got[i] : nullptr;
+    if (w && g && *w == *g) continue;
+    std::cerr << "  first difference at line " << (i + 1) << ":\n"
+              << "    golden: " << (w ? *w : "<missing>") << "\n"
+              << "    actual: " << (g ? *g : "<missing>") << "\n";
+    break;
+  }
+  std::cerr << "  (" << want.size() << " golden lines, " << got.size()
+            << " actual lines; regenerate with gm_golden --update "
+               "after intentional changes)\n";
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = "tests/golden";
+  std::string filter;
+  bool update = false;
+  bool list = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--update") {
+      update = true;
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg.rfind("--dir=", 0) == 0) {
+      dir = arg.substr(6);
+    } else if (arg.rfind("--case=", 0) == 0) {
+      filter = arg.substr(7);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: gm_golden [--dir=PATH] [--case=SUBSTR] "
+                   "[--list] [--update]\n";
+      return 0;
+    } else {
+      std::cerr << "error: unexpected argument '" << arg << "'\n";
+      return 2;
+    }
+  }
+
+  const auto cases = golden_cases();
+  if (list) {
+    for (const auto& c : cases) std::cout << c.name << "\n";
+    return 0;
+  }
+
+  int mismatches = 0;
+  int audit_failures = 0;
+  int ran = 0;
+  try {
+    if (update) std::filesystem::create_directories(dir);
+    for (const auto& c : cases) {
+      if (!filter.empty() && c.name.find(filter) == std::string::npos)
+        continue;
+      ++ran;
+      const gm::core::ExperimentConfig config = build_config(c);
+      gm::core::SimulationEngine engine(config);
+      const gm::core::RunArtifacts artifacts = engine.run();
+
+      // The corpus is only trustworthy if the run it snapshots is
+      // internally consistent — audit before writing or comparing.
+      const gm::audit::AuditReport audit =
+          gm::audit::audit_run(engine, artifacts);
+      const gm::audit::RoundTripResult round_trip =
+          gm::audit::config_roundtrip(config);
+      if (!audit.passed() || !round_trip.fixed_point) {
+        ++audit_failures;
+        std::cerr << "AUDIT " << c.name << "\n";
+        audit.print(std::cerr);
+        for (const auto& m : round_trip.mismatches)
+          std::cerr << "  config round-trip: " << m << "\n";
+        continue;
+      }
+
+      const std::string actual = render(c, config, artifacts);
+      const std::string path = dir + "/" + c.name + ".txt";
+      if (update) {
+        std::ofstream out(path, std::ios::binary);
+        if (!out) {
+          std::cerr << "error: cannot write " << path << "\n";
+          return 2;
+        }
+        out << actual;
+        std::cout << "wrote " << path << "\n";
+        continue;
+      }
+      std::ifstream in(path, std::ios::binary);
+      if (!in) {
+        ++mismatches;
+        std::cerr << "MISSING " << path
+                  << " (generate with gm_golden --update)\n";
+        continue;
+      }
+      std::ostringstream expected;
+      expected << in.rdbuf();
+      if (diff_report(expected.str(), actual)) {
+        std::cout << "ok " << c.name << "\n";
+      } else {
+        ++mismatches;
+        std::cerr << "FAIL " << c.name << "\n";
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+
+  if (ran == 0) {
+    std::cerr << "error: no case matches --case=" << filter << "\n";
+    return 2;
+  }
+  if (audit_failures > 0) return 4;
+  if (mismatches > 0) return 3;
+  if (!update)
+    std::cout << ran << " golden case(s) green\n";
+  return 0;
+}

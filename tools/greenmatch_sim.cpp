@@ -1,13 +1,21 @@
 // greenmatch_sim — the experiment-runner CLI.
 //
 //   greenmatch_sim [config-file] [key=value ...] [--slots]
-//                  [--trace=FILE] [--metrics=FILE] [--manifest=FILE]
-//                  [--profile] [--help]
+//                  [--audit[=FILE]] [--trace=FILE] [--metrics=FILE]
+//                  [--manifest=FILE] [--profile] [--help]
 //
 // Runs one simulation from canonical defaults + the optional config
 // file + any key=value overrides (same key space as the file format),
 // then prints the run summary. `--slots` additionally emits the
 // per-slot energy ledger as CSV on stdout.
+//
+// Correctness (docs/correctness.md):
+//   --audit         runs the gm::audit conservation checks and the
+//                   config round-trip check after the simulation; the
+//                   verdict table goes to stderr (stdout stays clean
+//                   for --slots pipelines) and any violation fails the
+//                   run with exit code 4. --audit=FILE additionally
+//                   appends one JSONL record per check to FILE.
 //
 // Observability (docs/observability.md):
 //   --trace=FILE    structured JSONL trace (one record per slot plus
@@ -29,6 +37,7 @@
 #include <memory>
 #include <string>
 
+#include "audit/audit.hpp"
 #include "core/config_io.hpp"
 #include "core/engine.hpp"
 #include "obs/recorder.hpp"
@@ -39,8 +48,9 @@ namespace {
 void print_usage() {
   std::cout <<
       "usage: greenmatch_sim [config-file] [key=value ...] [--slots]\n"
-      "                      [--trace=FILE] [--metrics=FILE]\n"
-      "                      [--manifest=FILE] [--profile]\n\n"
+      "                      [--audit[=FILE]] [--trace=FILE]\n"
+      "                      [--metrics=FILE] [--manifest=FILE]\n"
+      "                      [--profile]\n\n"
       "Runs one GreenMatch simulation. Configuration keys:\n\n"
       << gm::core::config_keys_help();
 }
@@ -76,6 +86,8 @@ void print_slot_csv(const gm::core::RunArtifacts& artifacts) {
 
 int main(int argc, char** argv) {
   bool emit_slots = false;
+  bool audit = false;
+  std::string audit_jsonl_path;
   std::string config_path;
   gm::KeyValueConfig overrides;
   gm::obs::RecorderConfig obs_config;
@@ -88,6 +100,15 @@ int main(int argc, char** argv) {
     }
     if (arg == "--slots") {
       emit_slots = true;
+      continue;
+    }
+    if (arg == "--audit") {
+      audit = true;
+      continue;
+    }
+    if (arg.rfind("--audit=", 0) == 0) {
+      audit = true;
+      audit_jsonl_path = arg.substr(std::strlen("--audit="));
       continue;
     }
     if (arg == "--profile") {
@@ -129,13 +150,33 @@ int main(int argc, char** argv) {
     if (obs_config.any_enabled())
       recorder = std::make_shared<gm::obs::Recorder>(obs_config);
 
-    const gm::core::RunArtifacts artifacts =
-        gm::core::run_experiment(config, recorder);
+    gm::core::SimulationEngine engine(config, recorder);
+    const gm::core::RunArtifacts artifacts = engine.run();
     artifacts.result.print_summary(std::cout);
     if (emit_slots) {
       std::cout << '\n';
       print_slot_csv(artifacts);
     }
+
+    bool audit_ok = true;
+    if (audit) {
+      const gm::audit::AuditReport report =
+          gm::audit::audit_run(engine, artifacts);
+      const gm::audit::RoundTripResult round_trip =
+          gm::audit::config_roundtrip(config);
+      report.print(std::cerr);
+      if (!round_trip.fixed_point) {
+        std::cerr << "audit: config round-trip is not a fixed point:\n";
+        for (const auto& m : round_trip.mismatches)
+          std::cerr << "  " << m << '\n';
+      }
+      if (!audit_jsonl_path.empty())
+        report.write_jsonl(audit_jsonl_path,
+                           artifacts.result.scheduler.policy_name);
+      if (recorder) report.emit(*recorder);
+      audit_ok = report.passed() && round_trip.fixed_point;
+    }
+
     if (recorder) {
       recorder->finish();
       if (recorder->config().profile) {
@@ -143,7 +184,7 @@ int main(int argc, char** argv) {
         recorder->profiler().print_table(std::cout);
       }
     }
-    return 0;
+    return audit_ok ? 0 : 4;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

@@ -20,13 +20,22 @@
 // the extension (run.jsonl -> run.0-asap.jsonl). The index keeps
 // distinct points from colliding after value sanitization. --profile
 // prints one phase-timing table per point.
+//
+// Correctness: --audit runs the gm::audit conservation checks on every
+// point (on the worker thread, via the sweep post_run hook); failures
+// are reported to stderr after the table and fail the sweep with exit
+// code 4. --audit=FILE additionally appends the per-point JSONL check
+// records to FILE. See docs/correctness.md.
 
 #include <cstring>
 #include <iostream>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "audit/audit.hpp"
 #include "core/config_io.hpp"
+#include "core/engine.hpp"
 #include "core/sweep.hpp"
 
 namespace {
@@ -69,7 +78,7 @@ int main(int argc, char** argv) {
     std::cout << "usage: greenmatch_sweep <key> <v1,v2,...> "
                  "[config-file] [key=value ...] [--jobs=N]\n"
                  "                      [--trace=FILE] [--metrics=FILE] "
-                 "[--profile]\n\nKeys:\n"
+                 "[--profile] [--audit[=FILE]]\n\nKeys:\n"
               << gm::core::config_keys_help();
     return argc == 1 ? 0 : 2;
   }
@@ -84,11 +93,22 @@ int main(int argc, char** argv) {
   }
 
   std::string config_path;
+  bool audit = false;
+  std::string audit_jsonl_path;
   gm::KeyValueConfig overrides;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--profile") {
       spec.profile = true;
+      continue;
+    }
+    if (arg == "--audit") {
+      audit = true;
+      continue;
+    }
+    if (arg.rfind("--audit=", 0) == 0) {
+      audit = true;
+      audit_jsonl_path = arg.substr(std::strlen("--audit="));
       continue;
     }
     if (arg.rfind("--jobs=", 0) == 0) {
@@ -125,8 +145,49 @@ int main(int argc, char** argv) {
           spec.base, gm::KeyValueConfig::load_file(config_path));
     gm::core::apply_config(spec.base, overrides);
 
+    // Per-point audit via the post_run hook: runs on the worker thread
+    // while the engine is still alive; the verdict collection (and the
+    // shared JSONL file) are guarded because points finish
+    // concurrently.
+    std::mutex audit_mutex;
+    std::vector<std::string> audit_failures;
+    if (audit) {
+      const std::string key = spec.key;
+      spec.post_run = [&, key](std::size_t, const std::string& value,
+                               const gm::core::SimulationEngine& engine,
+                               const gm::core::RunArtifacts& artifacts) {
+        const gm::audit::AuditReport report =
+            gm::audit::audit_run(engine, artifacts);
+        const gm::audit::RoundTripResult round_trip =
+            gm::audit::config_roundtrip(engine.config());
+        const std::lock_guard<std::mutex> lock(audit_mutex);
+        if (!audit_jsonl_path.empty())
+          report.write_jsonl(audit_jsonl_path, key + "=" + value);
+        for (const auto& check : report.checks)
+          if (!check.passed)
+            audit_failures.push_back(key + "=" + value + ": " +
+                                     check.name + " (" + check.detail +
+                                     ")");
+        for (const auto& mismatch : round_trip.mismatches)
+          audit_failures.push_back(key + "=" + value +
+                                   ": config round-trip " + mismatch);
+      };
+    }
+
     const auto points = gm::core::run_sweep(spec);
     gm::core::print_sweep_report(std::cout, spec, points);
+    if (audit) {
+      if (audit_failures.empty()) {
+        std::cerr << "audit: all " << points.size()
+                  << " sweep points passed\n";
+      } else {
+        std::cerr << "audit: " << audit_failures.size()
+                  << " failures:\n";
+        for (const auto& failure : audit_failures)
+          std::cerr << "  " << failure << '\n';
+        return 4;
+      }
+    }
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
