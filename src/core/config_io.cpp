@@ -87,6 +87,8 @@ void apply_config(ExperimentConfig& config, const KeyValueConfig& kv) {
   config.workload.foreground.base_rate_per_s =
       kv.get_double_or("workload.foreground_rate",
                        config.workload.foreground.base_rate_per_s);
+  config.workload.task_scale = kv.get_double_or(
+      "workload.task_scale", config.workload.task_scale);
 
   // --- supply --------------------------------------------------------
   config.panel_area_m2 =
@@ -219,6 +221,7 @@ std::vector<std::pair<std::string, std::string>> config_echo(
   add("workload.seed", std::to_string(c.workload.seed));
   add("workload.foreground_rate",
       echo_num(c.workload.foreground.base_rate_per_s));
+  add("workload.task_scale", echo_num(c.workload.task_scale));
   add("solar.panel_area_m2", echo_num(c.panel_area_m2));
   add("solar.latitude_deg", echo_num(c.solar.latitude_deg));
   add("solar.seed", std::to_string(c.solar.seed));
@@ -257,7 +260,8 @@ std::string config_keys_help() {
       "cluster.racks, cluster.nodes_per_rack, cluster.replication,\n"
       "cluster.groups, cluster.task_slots\n"
       "workload.preset (canonical|read-heavy|backup-heavy),\n"
-      "workload.days, workload.seed, workload.foreground_rate\n"
+      "workload.days, workload.seed, workload.foreground_rate,\n"
+      "workload.task_scale\n"
       "solar.panel_area_m2, solar.latitude_deg, solar.seed,\n"
       "solar.horizon_days, solar.trace_csv\n"
       "wind.enabled, wind.rated_kw, wind.horizon_days\n"

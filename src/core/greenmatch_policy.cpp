@@ -1,6 +1,8 @@
 #include <algorithm>
 #include <chrono>
+#include <climits>
 #include <cmath>
+#include <unordered_map>
 
 #include "core/mincost_flow.hpp"
 #include "core/policies.hpp"
@@ -60,6 +62,20 @@ std::size_t feasible_horizon(const PendingTask& p, SimTime start,
   return std::min(horizon, std::max<std::size_t>(1, margin));
 }
 
+/// Class-signature components small enough to pack into one 64-bit
+/// lookup key (24 + 24 + 16 bits). A pathological task outside these
+/// ranges simply becomes its own singleton class — grouping is an
+/// optimization, never a requirement.
+constexpr long long kMaxPackedCap = 1ll << 24;
+constexpr std::size_t kMaxPackedHorizon = 1ull << 16;
+
+unsigned long long pack_signature(long long units, std::size_t jmax,
+                                  long long beyond_cap) {
+  return (static_cast<unsigned long long>(units) << 40) |
+         (static_cast<unsigned long long>(beyond_cap) << 16) |
+         static_cast<unsigned long long>(jmax);
+}
+
 }  // namespace
 
 GreenMatchPolicy::GreenMatchPolicy(int horizon_slots, bool greedy,
@@ -73,22 +89,26 @@ GreenMatchPolicy::GreenMatchPolicy(int horizon_slots, bool greedy,
   GM_CHECK(horizon_slots >= 1, "horizon must be >= 1");
 }
 
+double GreenMatchPolicy::horizon_carbon_mean(const SlotContext& ctx) const {
+  if (!carbon_aware_ || ctx.grid_carbon_g_per_kwh.empty()) return 0.0;
+  double sum = 0.0;
+  for (double g : ctx.grid_carbon_g_per_kwh) sum += g;
+  return sum / static_cast<double>(ctx.grid_carbon_g_per_kwh.size());
+}
+
 long long GreenMatchPolicy::brown_cost_for_slot(const SlotContext& ctx,
-                                                std::size_t j) const {
+                                                std::size_t j,
+                                                double carbon_mean) const {
   if (!carbon_aware_ || ctx.grid_carbon_g_per_kwh.empty())
     return kBrownUnitCost;
   // Scale the brown penalty by this slot's carbon intensity relative
   // to the horizon mean, so clean-grid hours become relatively cheap.
-  double sum = 0.0;
-  for (double g : ctx.grid_carbon_g_per_kwh) sum += g;
-  const double mean =
-      sum / static_cast<double>(ctx.grid_carbon_g_per_kwh.size());
   const double g = j < ctx.grid_carbon_g_per_kwh.size()
                        ? ctx.grid_carbon_g_per_kwh[j]
-                       : mean;
-  if (mean <= 0.0) return kBrownUnitCost;
+                       : carbon_mean;
+  if (carbon_mean <= 0.0) return kBrownUnitCost;
   return static_cast<long long>(
-      std::llround(kBrownUnitCost * clamp(g / mean, 0.2, 5.0)));
+      std::llround(kBrownUnitCost * clamp(g / carbon_mean, 0.2, 5.0)));
 }
 
 Watts GreenMatchPolicy::committed_power_w(const SlotContext& ctx,
@@ -146,23 +166,100 @@ std::vector<Joules> GreenMatchPolicy::project_battery(
   return proj;
 }
 
-// The matching network (battery-aware form). Flow goes task → slot →
-// supply; the battery is a time-expanded chain of boundary nodes so a
-// unit consumed in slot j can be green that was produced (and stored)
-// in any earlier slot k, paying the storage conversion penalty once:
+bool GreenMatchPolicy::build_warm_potentials(const SlotContext& ctx,
+                                             int n_classes, int h,
+                                             int slot_base, int g_base,
+                                             int beyond, int sink) {
+  if (!have_potentials_ || h == 0 || prev_slot_pot_.empty()) return false;
+  const SlotIndex delta = ctx.slot - potentials_slot_;
+  if (delta < 0) return false;  // time moved backwards: state is stale
+  const int prev_h = static_cast<int>(prev_slot_pot_.size());
+
+  // The previous solve's potentials, shifted by the elapsed slots
+  // (new slot j was old slot j+delta) and clamped per edge type so
+  // the non-negative reduced-cost invariant holds by construction:
+  //   source → class (cost 0):   π[src] = π[class] = P
+  //   class → slot_j (cost j):   π[slot_j] ≤ P + j
+  //   slot_j → G_j (cost 0):     π[G_j] ≤ π[slot_j]
+  //   class → beyond (cost B):   π[beyond] ≤ P + B
+  //   {G_j, beyond, slot_j+brown_j} → sink: π[sink] ≤ all of them
+  // The solver re-validates in O(E) and falls back to the cold start
+  // if this construction and the real network ever disagree.
+  warm_scratch_.assign(static_cast<std::size_t>(sink) + 1, 0);
+  const long long P = prev_class_pot_;
+  warm_scratch_[0] = P;
+  for (int c = 0; c < n_classes; ++c) warm_scratch_[c + 1] = P;
+  long long min_g = LLONG_MAX / 4;
+  for (int j = 0; j < h; ++j) {
+    const int idx =
+        std::min(j + static_cast<int>(delta), prev_h - 1);
+    const long long ps =
+        std::min(prev_slot_pot_[idx], P + static_cast<long long>(j));
+    const long long pg = std::min(prev_g_pot_[idx], ps);
+    warm_scratch_[static_cast<std::size_t>(slot_base) + j] = ps;
+    warm_scratch_[static_cast<std::size_t>(g_base) + j] = pg;
+    min_g = std::min(min_g, pg);
+  }
+  const long long pb =
+      std::min(prev_beyond_pot_, P + kBeyondHorizonCost);
+  warm_scratch_[static_cast<std::size_t>(beyond)] = pb;
+  warm_scratch_[static_cast<std::size_t>(sink)] =
+      std::min({prev_sink_pot_, pb, min_g});
+  return true;
+}
+
+void GreenMatchPolicy::store_potentials(const SlotContext& ctx, int h,
+                                        int slot_base, int g_base,
+                                        int beyond, int sink) {
+  const auto& pot = flow_.potentials();
+  if (static_cast<int>(pot.size()) != sink + 1 || h == 0) {
+    have_potentials_ = false;
+    return;
+  }
+  prev_slot_pot_.assign(pot.begin() + slot_base,
+                        pot.begin() + slot_base + h);
+  prev_g_pot_.assign(pot.begin() + g_base, pot.begin() + g_base + h);
+  prev_beyond_pot_ = pot[static_cast<std::size_t>(beyond)];
+  prev_sink_pot_ = pot[static_cast<std::size_t>(sink)];
+  // One shared class-side potential: the min over source and class
+  // nodes is the largest value that keeps every source→class reduced
+  // cost non-negative next plan (class membership will have changed).
+  long long pc = LLONG_MAX / 4;
+  for (int v = 0; v < slot_base; ++v)
+    pc = std::min(pc, pot[static_cast<std::size_t>(v)]);
+  prev_class_pot_ = pc;
+  potentials_slot_ = ctx.slot;
+  have_potentials_ = true;
+}
+
+// The matching network (battery-aware form). Flow goes class → slot →
+// supply, where a *class* is the set of pending tasks sharing one
+// planner signature (units needed, feasible horizon, beyond-horizon
+// capacity) — such tasks are interchangeable to the matcher, so a
+// class node with m members carries their combined capacity and the
+// solved flow is dealt back to members afterwards (round-robin in
+// deadline order; per-slot class flow ≤ m, so members never repeat a
+// slot and loads differ by at most one unit). With aggregation
+// disabled every task is its own singleton class, which reproduces
+// the historical one-node-per-task network edge for edge.
 //
-//   S → task_i                (remaining slot-units)
-//   task_i → slot_j           (cap 1, cost j: earliness tiebreak)
-//   task_i → beyond           (deadline past horizon: deferral)
-//   slot_j → G_j              (direct green use at j)
-//   slot_j → B_j              (battery discharge at j, rate-capped)
-//   B_j → B_{j-1}             (carry stored energy back to its origin;
-//                              cap = usable capacity, tiny cost)
-//   B_{k+1} → G_k             (green of slot k charged in, rate-capped,
-//                              cost = conversion-loss penalty)
-//   B_0 → sink                (initial state of charge)
-//   G_j → sink                (green production of slot j)
-//   slot_j → sink             (grid, cost kBrownUnitCost)
+// The battery is a time-expanded chain of boundary nodes so a unit
+// consumed in slot j can be green that was produced (and stored) in
+// any earlier slot k, paying the storage conversion penalty once:
+//
+//   S → class_c                (members × units slot-units)
+//   class_c → slot_j           (cap m_c, cost j: earliness tiebreak)
+//   class_c → beyond           (deadline past horizon: deferral,
+//                               cap m_c × per-member beyond slots)
+//   slot_j → G_j               (direct green use at j)
+//   slot_j → B_j               (battery discharge at j, rate-capped)
+//   B_j → B_{j-1}              (carry stored energy back to its origin;
+//                               cap = usable capacity, tiny cost)
+//   B_{k+1} → G_k              (green of slot k charged in, rate-capped,
+//                               cost = conversion-loss penalty)
+//   B_0 → sink                 (initial state of charge)
+//   G_j → sink                 (green production of slot j)
+//   slot_j → sink              (grid, cost kBrownUnitCost)
 SlotDecision GreenMatchPolicy::plan_flow(const SlotContext& ctx) {
   GM_OBS_SCOPE("policy.plan_flow");
   const auto t0 = std::chrono::steady_clock::now();
@@ -173,13 +270,55 @@ SlotDecision GreenMatchPolicy::plan_flow(const SlotContext& ctx) {
 
   const Joules unit_energy = unit_energy_for(facts_, ctx.pending);
   const auto green = green_units(ctx, unit_energy);
+  const double carbon_mean = horizon_carbon_mean(ctx);
 
   const bool battery = battery_aware_ &&
                        ctx.battery_usable_capacity_j > unit_energy;
 
+  const SimTime horizon_end =
+      ctx.start + static_cast<SimTime>(horizon * facts_.slot_length_s);
+
+  // Group the pending pool (deadline-sorted) into classes; first
+  // occurrence fixes class order, so singleton classes reproduce the
+  // per-task build exactly.
+  classes_.clear();
+  std::unordered_map<unsigned long long, int> lookup;
+  if (aggregate_) lookup.reserve(n_tasks * 2);
+  long long total_units = 0;
+  for (std::size_t i = 0; i < n_tasks; ++i) {
+    const auto& p = ctx.pending[i];
+    const long long units = units_needed(p, facts_.slot_length_s);
+    total_units += units;
+    const std::size_t jmax =
+        feasible_horizon(p, ctx.start, facts_.slot_length_s, horizon);
+    long long beyond_cap = 0;
+    if (p.task.deadline > horizon_end) {
+      const auto beyond_slots = static_cast<long long>(
+          std::floor(static_cast<double>(p.task.deadline - horizon_end) /
+                     facts_.slot_length_s));
+      if (beyond_slots > 0) beyond_cap = std::min(units, beyond_slots);
+    }
+    int cls;
+    if (aggregate_ && units < kMaxPackedCap &&
+        beyond_cap < kMaxPackedCap && jmax < kMaxPackedHorizon) {
+      const auto [it, inserted] = lookup.try_emplace(
+          pack_signature(units, jmax, beyond_cap),
+          static_cast<int>(classes_.size()));
+      if (inserted)
+        classes_.push_back(TaskClass{units, jmax, beyond_cap, -1, {}});
+      cls = it->second;
+    } else {
+      cls = static_cast<int>(classes_.size());
+      classes_.push_back(TaskClass{units, jmax, beyond_cap, -1, {}});
+    }
+    classes_[static_cast<std::size_t>(cls)].members.push_back(
+        static_cast<std::uint32_t>(i));
+  }
+  const int n_classes = static_cast<int>(classes_.size());
+
   // Node layout.
   const int source = 0;
-  const int slot_base = static_cast<int>(n_tasks) + 1;
+  const int slot_base = n_classes + 1;
   const int g_base = slot_base + h;
   const int b_base = g_base + h;            // B_0 .. B_h (h+1 nodes)
   const int beyond = b_base + (battery ? h + 1 : 0);
@@ -191,39 +330,19 @@ SlotDecision GreenMatchPolicy::plan_flow(const SlotContext& ctx) {
       static_cast<long long>(facts_.total_nodes) *
       facts_.task_slots_per_node;
 
-  long long total_units = 0;
-  std::vector<int> slot0_edge(n_tasks, -1);
-  // (task, horizon offset, edge id) for plan caching.
-  std::vector<std::tuple<std::size_t, int, int>> task_slot_edges;
-
-  const SimTime horizon_end =
-      ctx.start + static_cast<SimTime>(horizon * facts_.slot_length_s);
-
-  for (std::size_t i = 0; i < n_tasks; ++i) {
-    const auto& p = ctx.pending[i];
-    const long long units = units_needed(p, facts_.slot_length_s);
-    total_units += units;
-    flow.add_edge(source, static_cast<int>(i) + 1, units, 0);
-
-    const std::size_t jmax =
-        feasible_horizon(p, ctx.start, facts_.slot_length_s, horizon);
-    for (std::size_t j = 0; j < jmax; ++j) {
+  for (int c = 0; c < n_classes; ++c) {
+    auto& tc = classes_[static_cast<std::size_t>(c)];
+    const auto m = static_cast<long long>(tc.members.size());
+    flow.add_edge(source, c + 1, m * tc.units, 0);
+    for (std::size_t j = 0; j < tc.jmax; ++j) {
       const int edge =
-          flow.add_edge(static_cast<int>(i) + 1,
-                        slot_base + static_cast<int>(j), 1,
+          flow.add_edge(c + 1, slot_base + static_cast<int>(j), m,
                         static_cast<long long>(j));
-      if (j == 0) slot0_edge[i] = edge;
-      if (!replan_every_slot_)
-        task_slot_edges.emplace_back(i, static_cast<int>(j), edge);
+      if (j == 0) tc.slot_edge0 = edge;  // ids contiguous per class
     }
-    if (p.task.deadline > horizon_end) {
-      const auto beyond_slots = static_cast<long long>(
-          std::floor(static_cast<double>(p.task.deadline - horizon_end) /
-                     facts_.slot_length_s));
-      if (beyond_slots > 0)
-        flow.add_edge(static_cast<int>(i) + 1, beyond,
-                      std::min(units, beyond_slots), kBeyondHorizonCost);
-    }
+    if (tc.beyond_cap > 0)
+      flow.add_edge(c + 1, beyond, m * tc.beyond_cap,
+                    kBeyondHorizonCost);
   }
 
   for (int j = 0; j < h; ++j) {
@@ -231,7 +350,8 @@ SlotDecision GreenMatchPolicy::plan_flow(const SlotContext& ctx) {
     flow.add_edge(slot_base + j, g_base + j, cap_per_slot, 0);
     flow.add_edge(g_base + j, sink, std::min(green[j], cap_per_slot), 0);
     flow.add_edge(slot_base + j, sink, cap_per_slot,
-                  brown_cost_for_slot(ctx, static_cast<std::size_t>(j)));
+                  brown_cost_for_slot(ctx, static_cast<std::size_t>(j),
+                                      carbon_mean));
   }
 
   if (battery) {
@@ -281,13 +401,38 @@ SlotDecision GreenMatchPolicy::plan_flow(const SlotContext& ctx) {
 
   flow.add_edge(beyond, sink, total_units, 0);
 
-  flow.solve(source, sink, total_units);
+  // The battery chain's capacities depend on the projected state of
+  // charge, which the shifted-potential construction cannot bound, so
+  // warm starts are limited to the (default) supply-only network.
+  MinCostFlow::Result solved;
+  bool warm = false;
+  if (!battery && build_warm_potentials(ctx, n_classes, h, slot_base,
+                                        g_base, beyond, sink)) {
+    const auto accepts_before = flow.warm_accepts();
+    solved = flow.solve(source, sink, total_units, warm_scratch_);
+    warm = flow.warm_accepts() > accepts_before;
+  } else {
+    solved = flow.solve(source, sink, total_units);
+  }
+  if (battery)
+    have_potentials_ = false;
+  else
+    store_potentials(ctx, h, slot_base, g_base, beyond, sink);
 
+  // Deal each class's slot-0 flow to its first members in deadline
+  // order, then emit the run set in pending order.
   SlotDecision decision;
+  run_mask_.assign(n_tasks, 0);
+  for (const auto& tc : classes_) {
+    if (tc.slot_edge0 < 0) continue;
+    const long long f0 = flow.flow_on(tc.slot_edge0);
+    for (long long t = 0; t < f0; ++t)
+      run_mask_[tc.members[static_cast<std::size_t>(t)]] = 1;
+  }
   double util = ctx.foreground_util;
   int count = 0;
   for (std::size_t i = 0; i < n_tasks; ++i) {
-    if (slot0_edge[i] >= 0 && flow.flow_on(slot0_edge[i]) > 0) {
+    if (run_mask_[i]) {
       decision.run_tasks.push_back(ctx.pending[i].task.id);
       util += ctx.pending[i].task.utilization;
       ++count;
@@ -299,14 +444,39 @@ SlotDecision GreenMatchPolicy::plan_flow(const SlotContext& ctx) {
   if (!replan_every_slot_) {
     plan_base_ = ctx.slot;
     plan_offsets_.clear();
-    for (const auto& [i, j, edge] : task_slot_edges)
-      if (flow.flow_on(edge) > 0)
-        plan_offsets_[ctx.pending[i].task.id].push_back(j);
+    // Full-plan demux: deal each slot's class flow round-robin over
+    // the members, starting where the previous slot stopped. Per-slot
+    // flow ≤ m keeps the dealt members distinct, and consecutive
+    // dealing bounds any member's load by ⌈flow/m⌉ ≤ units. Slot 0
+    // starts at member 0, matching the run set above.
+    for (const auto& tc : classes_) {
+      if (tc.slot_edge0 < 0) continue;
+      const std::size_t m = tc.members.size();
+      std::size_t rotate = 0;
+      for (std::size_t j = 0; j < tc.jmax; ++j) {
+        const long long f =
+            flow.flow_on(tc.slot_edge0 + static_cast<int>(j));
+        for (long long t = 0; t < f; ++t) {
+          const auto member =
+              tc.members[(rotate + static_cast<std::size_t>(t)) % m];
+          plan_offsets_[ctx.pending[member].task.id].push_back(
+              static_cast<int>(j));
+        }
+        rotate = (rotate + static_cast<std::size_t>(f)) % m;
+      }
+    }
     // Tasks with no in-horizon assignment still belong to the plan
     // (deferred beyond the horizon): record them with no offsets.
     for (const auto& p : ctx.pending)
       plan_offsets_.try_emplace(p.task.id);
   }
+
+  plan_stats_ = PlanStats{solved.flow,
+                          solved.cost,
+                          static_cast<int>(n_tasks),
+                          n_classes,
+                          sink + 1,
+                          warm};
 
   const auto t1 = std::chrono::steady_clock::now();
   solve_ms_total_ +=
@@ -322,6 +492,9 @@ SlotDecision GreenMatchPolicy::plan_greedy(const SlotContext& ctx) {
 
   const Joules unit_energy = unit_energy_for(facts_, ctx.pending);
   auto green_left = green_units(ctx, unit_energy);
+  // green_left is consumed below; slot 0's original surplus decides
+  // eco speed at the end.
+  const long long green0 = green_left.empty() ? 0 : green_left[0];
   const long long cap_per_slot =
       static_cast<long long>(facts_.total_nodes) *
       facts_.task_slots_per_node;
@@ -334,16 +507,18 @@ SlotDecision GreenMatchPolicy::plan_greedy(const SlotContext& ctx) {
   // Deadline order (pending is pre-sorted). Each task places its
   // required units: green slots first (earliest), then deferral beyond
   // the horizon if the deadline allows, then earliest brown slots.
+  // slot_taken_ is the task's chosen-slot bitmap (O(1) membership
+  // instead of scanning a chosen list).
   for (const auto& p : ctx.pending) {
     long long units = units_needed(p, facts_.slot_length_s);
     const std::size_t jmax =
         feasible_horizon(p, ctx.start, facts_.slot_length_s, horizon);
 
-    std::vector<std::size_t> chosen;
+    slot_taken_.assign(horizon, 0);
     // Pass 1: earliest green slots.
     for (std::size_t j = 0; j < jmax && units > 0; ++j) {
       if (green_left[j] > 0 && cap_left[j] > 0) {
-        chosen.push_back(j);
+        slot_taken_[j] = 1;
         --green_left[j];
         --cap_left[j];
         --units;
@@ -361,14 +536,13 @@ SlotDecision GreenMatchPolicy::plan_greedy(const SlotContext& ctx) {
     }
     // Pass 3: earliest remaining (brown) slots.
     for (std::size_t j = 0; j < jmax && units > 0; ++j) {
-      if (cap_left[j] > 0 &&
-          std::find(chosen.begin(), chosen.end(), j) == chosen.end()) {
-        chosen.push_back(j);
+      if (cap_left[j] > 0 && !slot_taken_[j]) {
+        slot_taken_[j] = 1;
         --cap_left[j];
         --units;
       }
     }
-    if (std::find(chosen.begin(), chosen.end(), 0u) != chosen.end()) {
+    if (!slot_taken_.empty() && slot_taken_[0]) {
       decision.run_tasks.push_back(p.task.id);
       util += p.task.utilization;
       ++count;
@@ -376,11 +550,7 @@ SlotDecision GreenMatchPolicy::plan_greedy(const SlotContext& ctx) {
   }
 
   decision.target_active_nodes = nodes_for_load(util, count);
-  decision.eco_speed = green_left.empty();
-  if (!green_left.empty()) {
-    const auto original = green_units(ctx, unit_energy);
-    decision.eco_speed = original[0] <= 0;
-  }
+  decision.eco_speed = green_left.empty() || green0 <= 0;
   const auto t1 = std::chrono::steady_clock::now();
   solve_ms_total_ +=
       std::chrono::duration<double, std::milli>(t1 - t0).count();

@@ -1,6 +1,7 @@
 #include "core/mincost_flow.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <climits>
 #include <functional>
 
@@ -35,55 +36,63 @@ int MinCostFlow::add_edge(NodeIdx from, NodeIdx to, long long capacity,
   return static_cast<int>(edge_refs_.size()) - 1;
 }
 
+bool MinCostFlow::potentials_valid(
+    const std::vector<long long>& pot) const {
+  if (pot.size() != graph_.size()) return false;
+  const int n = node_count();
+  for (int u = 0; u < n; ++u) {
+    for (const Edge& e : graph_[u]) {
+      if (e.capacity <= 0) continue;
+      if (e.cost + pot[u] - pot[e.to] < 0) return false;
+    }
+  }
+  return true;
+}
+
 MinCostFlow::Result MinCostFlow::solve(NodeIdx s, NodeIdx t,
                                        long long max_flow) {
   GM_OBS_SCOPE("planner.mincostflow.solve");
   GM_CHECK(s >= 0 && s < node_count() && t >= 0 && t < node_count(),
            "flow terminal out of range");
   GM_CHECK(s != t, "source equals sink");
+  potential_.assign(graph_.size(), 0);  // valid: costs >= 0
+  return run_ssp(s, t, max_flow);
+}
 
+MinCostFlow::Result MinCostFlow::solve(
+    NodeIdx s, NodeIdx t, long long max_flow,
+    const std::vector<long long>& warm_potentials) {
+  GM_OBS_SCOPE("planner.mincostflow.solve");
+  GM_CHECK(s >= 0 && s < node_count() && t >= 0 && t < node_count(),
+           "flow terminal out of range");
+  GM_CHECK(s != t, "source equals sink");
+  // The seam of the warm start: the invariant every Dijkstra below
+  // relies on is checked here, once, over the whole residual network.
+  // A stale seed (network changed shape, costs moved) degrades to the
+  // always-valid cold start instead of corrupting the solve.
+  if (potentials_valid(warm_potentials)) {
+    potential_ = warm_potentials;
+    ++warm_accepts_;
+  } else {
+    potential_.assign(graph_.size(), 0);
+    ++warm_rejects_;
+  }
+  return run_ssp(s, t, max_flow);
+}
+
+MinCostFlow::Result MinCostFlow::run_ssp(NodeIdx s, NodeIdx t,
+                                         long long max_flow) {
   const int n = node_count();
-  potential_.assign(static_cast<std::size_t>(n), 0);  // valid: costs >= 0
   dist_.resize(static_cast<std::size_t>(n));
   prev_node_.resize(static_cast<std::size_t>(n));
   prev_edge_.resize(static_cast<std::size_t>(n));
-  const auto heap_greater = std::greater<>{};
 
   Result result;
   while (result.flow < max_flow) {
-    // Dijkstra on reduced costs. The heap is an explicit binary heap
-    // on a member vector (same pop order as std::priority_queue, but
-    // the storage survives across augmentations and solves).
-    std::fill(dist_.begin(), dist_.end(), kInfCost);
-    dist_[s] = 0;
-    heap_.clear();
-    heap_.emplace_back(0, s);
-    while (!heap_.empty()) {
-      std::pop_heap(heap_.begin(), heap_.end(), heap_greater);
-      const auto [d, u] = heap_.back();
-      heap_.pop_back();
-      if (d > dist_[u]) continue;
-      // Early exit once the sink is settled: remaining pops have
-      // d >= dist[t], so no relaxation can improve any node on the
-      // found path. Nodes left unsettled get their potential clamped
-      // to dist[t] below, which keeps reduced costs non-negative.
-      if (u == t) break;
-      for (int i = 0; i < static_cast<int>(graph_[u].size()); ++i) {
-        const Edge& e = graph_[u][i];
-        if (e.capacity <= 0) continue;
-        const long long nd = d + e.cost + potential_[u] - potential_[e.to];
-        GM_ASSERT_MSG(e.cost + potential_[u] - potential_[e.to] >= 0,
-                      "negative reduced cost — potentials invalid");
-        if (nd < dist_[e.to]) {
-          dist_[e.to] = nd;
-          prev_node_[e.to] = u;
-          prev_edge_[e.to] = i;
-          heap_.emplace_back(nd, e.to);
-          std::push_heap(heap_.begin(), heap_.end(), heap_greater);
-        }
-      }
-    }
-    if (dist_[t] >= kInfCost) break;  // no augmenting path
+    const bool reached = queue_ == QueueKind::kRadix
+                             ? dijkstra_radix(s, t)
+                             : dijkstra_binary(s, t);
+    if (!reached) break;  // no augmenting path
 
     // Johnson potential update, clamped at dist[t]. For settled nodes
     // this is the classic exact update; for nodes the early exit left
@@ -109,6 +118,100 @@ MinCostFlow::Result MinCostFlow::solve(NodeIdx s, NodeIdx t,
     result.flow += push;
   }
   return result;
+}
+
+bool MinCostFlow::dijkstra_binary(NodeIdx s, NodeIdx t) {
+  // Dijkstra on reduced costs. The heap is an explicit binary heap
+  // on a member vector (same pop order as std::priority_queue, but
+  // the storage survives across augmentations and solves).
+  const auto heap_greater = std::greater<>{};
+  std::fill(dist_.begin(), dist_.end(), kInfCost);
+  dist_[s] = 0;
+  heap_.clear();
+  heap_.emplace_back(0, s);
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), heap_greater);
+    const auto [d, u] = heap_.back();
+    heap_.pop_back();
+    if (d > dist_[u]) continue;
+    // Early exit once the sink is settled: remaining pops have
+    // d >= dist[t], so no relaxation can improve any node on the
+    // found path. Nodes left unsettled get their potential clamped
+    // to dist[t] by the caller, which keeps reduced costs
+    // non-negative.
+    if (u == t) break;
+    for (int i = 0; i < static_cast<int>(graph_[u].size()); ++i) {
+      const Edge& e = graph_[u][i];
+      if (e.capacity <= 0) continue;
+      const long long nd = d + e.cost + potential_[u] - potential_[e.to];
+      GM_ASSERT_MSG(e.cost + potential_[u] - potential_[e.to] >= 0,
+                    "negative reduced cost — potentials invalid");
+      if (nd < dist_[e.to]) {
+        dist_[e.to] = nd;
+        prev_node_[e.to] = u;
+        prev_edge_[e.to] = i;
+        heap_.emplace_back(nd, e.to);
+        std::push_heap(heap_.begin(), heap_.end(), heap_greater);
+      }
+    }
+  }
+  return dist_[t] < kInfCost;
+}
+
+bool MinCostFlow::dijkstra_radix(NodeIdx s, NodeIdx t) {
+  // Monotone (radix) heap: Dijkstra's pop keys never decrease, so an
+  // entry with key k lives in bucket bit_width(k ^ last_popped_key).
+  // When the lowest non-empty bucket is redistributed, its minimum
+  // becomes the new reference key and lands in bucket 0; entries in
+  // higher buckets provably keep their bucket index, so each entry
+  // moves O(word size) times total instead of paying O(log n) per
+  // heap operation.
+  constexpr int kBuckets = 65;  // bit_width of a 64-bit xor is <= 64
+  radix_buckets_.resize(kBuckets);
+  for (auto& b : radix_buckets_) b.clear();
+  std::fill(dist_.begin(), dist_.end(), kInfCost);
+  dist_[s] = 0;
+  long long last = 0;
+  const auto bucket_of = [&](long long key) {
+    return std::bit_width(
+        static_cast<unsigned long long>(key ^ last));
+  };
+  radix_buckets_[0].emplace_back(0, s);
+  std::size_t live = 1;
+  while (live > 0) {
+    if (radix_buckets_[0].empty()) {
+      int b = 1;
+      while (radix_buckets_[b].empty()) ++b;
+      auto& bucket = radix_buckets_[b];
+      long long min_key = bucket.front().first;
+      for (const auto& [k, v] : bucket) min_key = std::min(min_key, k);
+      last = min_key;
+      for (const auto& entry : bucket)
+        radix_buckets_[bucket_of(entry.first)].push_back(entry);
+      bucket.clear();
+    }
+    const auto [d, u] = radix_buckets_[0].back();
+    radix_buckets_[0].pop_back();
+    --live;
+    if (d > dist_[u]) continue;
+    if (u == t) break;  // early exit; caller clamps potentials
+    for (int i = 0; i < static_cast<int>(graph_[u].size()); ++i) {
+      const Edge& e = graph_[u][i];
+      if (e.capacity <= 0) continue;
+      const long long nd = d + e.cost + potential_[u] - potential_[e.to];
+      GM_ASSERT_MSG(e.cost + potential_[u] - potential_[e.to] >= 0,
+                    "negative reduced cost — potentials invalid");
+      if (nd < dist_[e.to]) {
+        dist_[e.to] = nd;
+        prev_node_[e.to] = u;
+        prev_edge_[e.to] = i;
+        radix_buckets_[bucket_of(nd)].emplace_back(nd, e.to);
+        ++live;
+      }
+    }
+  }
+  for (auto& b : radix_buckets_) b.clear();
+  return dist_[t] < kInfCost;
 }
 
 long long MinCostFlow::flow_on(int edge_index) const {

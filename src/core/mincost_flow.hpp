@@ -12,6 +12,19 @@
 // Reusing one instance across solves is allocation-free in steady
 // state and measurably faster than constructing a fresh network
 // (see BM_MinCostFlowAssignment / BM_GreenMatchPlanDay).
+//
+// Two extensions for callers that solve a slowly-drifting sequence of
+// networks (the planner replans a shifted copy of last slot's
+// problem):
+//  - warm-started solves: solve() accepts the previous solve's Johnson
+//    potentials as a starting point. They are validated in O(E)
+//    against the non-negative-reduced-cost invariant and silently
+//    dropped (zero re-init) if the new network violates it, so a warm
+//    start can never change correctness — only the work per Dijkstra.
+//  - a monotone radix-heap priority queue (set_queue) for the
+//    small-integer-cost regime: Dijkstra's pop sequence is
+//    non-decreasing, so a 65-bucket radix structure replaces the
+//    binary heap's O(log n) pushes with O(1) amortized bucket moves.
 
 #include <climits>
 #include <cstdint>
@@ -24,6 +37,12 @@ class MinCostFlow {
  public:
   using NodeIdx = int;
   static constexpr long long kInfCost = LLONG_MAX / 4;
+
+  /// Priority queue driving the per-augmentation Dijkstra.
+  enum class QueueKind : std::uint8_t {
+    kBinaryHeap = 0,  ///< explicit binary heap, (dist, node) tiebreak
+    kRadix,           ///< monotone radix heap (small-integer costs)
+  };
 
   explicit MinCostFlow(int node_count);
 
@@ -44,6 +63,33 @@ class MinCostFlow {
   /// Sends up to `max_flow` units from s to t at minimum total cost.
   Result solve(NodeIdx s, NodeIdx t, long long max_flow = LLONG_MAX / 4);
 
+  /// Warm-started solve: seeds the Johnson potentials from
+  /// `warm_potentials` (one entry per node) instead of zero. The seed
+  /// is accepted only if every residual edge keeps a non-negative
+  /// reduced cost under it — checked in O(E) up front; a violation (or
+  /// a size mismatch) falls back to the zero initialization, which is
+  /// always valid for non-negative edge costs. Either way the result
+  /// is a true minimum-cost flow; warm_accepts()/warm_rejects() report
+  /// which path was taken.
+  Result solve(NodeIdx s, NodeIdx t, long long max_flow,
+               const std::vector<long long>& warm_potentials);
+
+  /// Johnson potentials after the last solve(); index = node. Feed
+  /// them (possibly shifted/clamped by the caller) into the next
+  /// solve's warm start.
+  const std::vector<long long>& potentials() const { return potential_; }
+
+  /// Selects the Dijkstra priority queue. Both kinds produce a
+  /// minimum-cost flow; equal-distance pop *order* differs, so callers
+  /// that care about which of several equal-cost optima is returned
+  /// must pick one kind and stick with it.
+  void set_queue(QueueKind kind) { queue_ = kind; }
+  QueueKind queue() const { return queue_; }
+
+  /// Warm-start bookkeeping across the lifetime of this instance.
+  std::uint64_t warm_accepts() const { return warm_accepts_; }
+  std::uint64_t warm_rejects() const { return warm_rejects_; }
+
   /// Flow currently on edge `edge_index` (after solve).
   long long flow_on(int edge_index) const;
 
@@ -57,9 +103,20 @@ class MinCostFlow {
     int rev;  ///< index of reverse edge in graph_[to]
   };
 
+  Result run_ssp(NodeIdx s, NodeIdx t, long long max_flow);
+  bool dijkstra_binary(NodeIdx s, NodeIdx t);
+  bool dijkstra_radix(NodeIdx s, NodeIdx t);
+  /// True iff every residual (capacity > 0) edge has non-negative
+  /// reduced cost under `pot`.
+  bool potentials_valid(const std::vector<long long>& pot) const;
+
   std::vector<std::vector<Edge>> graph_;
   /// (node, edge list index) of each externally added edge.
   std::vector<std::pair<NodeIdx, int>> edge_refs_;
+
+  QueueKind queue_ = QueueKind::kBinaryHeap;
+  std::uint64_t warm_accepts_ = 0;
+  std::uint64_t warm_rejects_ = 0;
 
   // Solver scratch, reused across solve() calls (see reset()).
   std::vector<long long> potential_;
@@ -67,6 +124,9 @@ class MinCostFlow {
   std::vector<int> prev_node_;
   std::vector<int> prev_edge_;
   std::vector<std::pair<long long, NodeIdx>> heap_;
+  /// Radix-heap buckets: entry (key, node), bucket = bit position of
+  /// the highest bit where key differs from the last popped key.
+  std::vector<std::vector<std::pair<long long, NodeIdx>>> radix_buckets_;
 };
 
 }  // namespace gm::core

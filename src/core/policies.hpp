@@ -60,6 +60,15 @@ class OpportunisticPolicy final : public SchedulerPolicy {
 /// green-covered units are free and grid-covered units pay a brown
 /// penalty. `greedy` swaps the flow solver for an
 /// earliest-greenest-fit heuristic (the ablation variant).
+///
+/// The flow network is built over *task classes*, not tasks: pending
+/// tasks with the same planner-visible signature (units needed,
+/// feasible horizon, beyond-horizon capacity) are interchangeable to
+/// the matcher, so one class node with multiplied capacities replaces
+/// their per-task nodes and the solved class flow is dealt back to
+/// members round-robin in deadline order. Network size scales with
+/// the number of distinct signatures instead of the pending-pool
+/// depth (see plan_flow).
 class GreenMatchPolicy final : public SchedulerPolicy {
  public:
   GreenMatchPolicy(int horizon_slots, bool greedy, bool replan_every_slot,
@@ -73,6 +82,28 @@ class GreenMatchPolicy final : public SchedulerPolicy {
   double solve_ms_total() const { return solve_ms_total_; }
   /// Slots answered from the cached plan (replan_every_slot = false).
   std::uint64_t plan_cache_hits() const { return plan_cache_hits_; }
+
+  /// Telemetry for the last plan_flow solve (tests, benches).
+  struct PlanStats {
+    long long flow = 0;        ///< slot-units placed
+    long long cost = 0;        ///< objective value of the matching
+    int tasks = 0;             ///< pending tasks seen by the planner
+    int classes = 0;           ///< distinct task signatures
+    int network_nodes = 0;     ///< nodes in the flow network
+    bool warm_start = false;   ///< previous potentials were accepted
+  };
+  const PlanStats& last_plan_stats() const { return plan_stats_; }
+
+  /// Ablation / equivalence-test hook: disables task-class grouping so
+  /// plan_flow builds the one-node-per-task network (every task its
+  /// own singleton class — edge-for-edge the pre-aggregation form).
+  /// Deliberately NOT reachable from the config-file key space.
+  void set_aggregation(bool on) { aggregate_ = on; }
+  bool aggregation() const { return aggregate_; }
+
+  /// Warm-start acceptance counters of the underlying solver.
+  std::uint64_t warm_accepts() const { return flow_.warm_accepts(); }
+  std::uint64_t warm_rejects() const { return flow_.warm_rejects(); }
 
  private:
   SlotDecision plan_flow(const SlotContext& ctx);
@@ -89,8 +120,26 @@ class GreenMatchPolicy final : public SchedulerPolicy {
   std::vector<Joules> project_battery(const SlotContext& ctx,
                                       std::size_t horizon) const;
   /// Grid-tier cost for slot j (carbon-scaled when carbon-aware).
-  long long brown_cost_for_slot(const SlotContext& ctx,
-                                std::size_t j) const;
+  /// `carbon_mean` is the horizon mean of ctx.grid_carbon_g_per_kwh,
+  /// hoisted out by the caller so a plan is O(h), not O(h²), in it.
+  long long brown_cost_for_slot(const SlotContext& ctx, std::size_t j,
+                                double carbon_mean) const;
+  /// Mean forecast carbon intensity over the horizon (0 when the
+  /// policy is not carbon-aware or no forecast is present).
+  double horizon_carbon_mean(const SlotContext& ctx) const;
+  /// Candidate warm-start potentials for this plan's network, derived
+  /// from the previous solve's potentials shifted by the elapsed
+  /// slots and clamped edge-type-by-edge-type so every reduced cost
+  /// stays non-negative by construction. Returns false when no usable
+  /// previous solve exists (first plan, battery mode, time moved
+  /// backwards).
+  bool build_warm_potentials(const SlotContext& ctx, int n_classes,
+                             int h, int slot_base, int g_base,
+                             int beyond, int sink);
+  /// Records the solved network's potentials for the next plan's warm
+  /// start.
+  void store_potentials(const SlotContext& ctx, int h, int slot_base,
+                        int g_base, int beyond, int sink);
 
   /// Serves the current slot from the cached multi-slot plan when it
   /// is still valid (no new tasks since planning, within the replan
@@ -102,14 +151,42 @@ class GreenMatchPolicy final : public SchedulerPolicy {
   bool replan_every_slot_;
   bool battery_aware_;
   bool carbon_aware_;
+  bool aggregate_ = true;
   double solve_ms_total_ = 0.0;
   std::uint64_t plan_cache_hits_ = 0;
+  PlanStats plan_stats_;
 
   /// The matching network, kept across plan calls as an arena: the
   /// planner rebuilds the edges every solve, but reset() preserves the
   /// adjacency-list and Dijkstra scratch allocations, so steady-state
   /// planning is allocation-free (see mincost_flow.hpp).
   MinCostFlow flow_{1};
+
+  /// One aggregated planner node: every member task contributes
+  /// `units` source capacity and one unit of per-slot capacity for
+  /// slots [0, jmax). Members are pending-pool indices in deadline
+  /// order — the order class flow is dealt back out in.
+  struct TaskClass {
+    long long units = 0;
+    std::size_t jmax = 0;
+    long long beyond_cap = 0;
+    int slot_edge0 = -1;  ///< edge id of class→slot_0 (ids contiguous)
+    std::vector<std::uint32_t> members;
+  };
+  std::vector<TaskClass> classes_;     // plan scratch
+  std::vector<char> run_mask_;         // plan scratch (per task)
+  std::vector<char> slot_taken_;       // greedy scratch (per slot)
+
+  // Previous-solve potentials by node role (non-battery networks),
+  // consumed by build_warm_potentials on the next plan.
+  bool have_potentials_ = false;
+  SlotIndex potentials_slot_ = -1;
+  long long prev_class_pot_ = 0;
+  long long prev_beyond_pot_ = 0;
+  long long prev_sink_pot_ = 0;
+  std::vector<long long> prev_slot_pot_;
+  std::vector<long long> prev_g_pot_;
+  std::vector<long long> warm_scratch_;
 
   // Cached plan state (replan_every_slot_ == false).
   SlotIndex plan_base_ = -1;

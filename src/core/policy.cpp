@@ -51,11 +51,14 @@ std::unique_ptr<SchedulerPolicy> make_policy(const PolicyConfig& config) {
     case PolicyKind::kOpportunistic:
       return std::make_unique<OpportunisticPolicy>(
           config.deferral_fraction, config.seed);
-    case PolicyKind::kGreenMatch:
-      return std::make_unique<GreenMatchPolicy>(
+    case PolicyKind::kGreenMatch: {
+      auto policy = std::make_unique<GreenMatchPolicy>(
           config.horizon_slots, /*greedy=*/false,
           config.replan_every_slot, config.battery_aware,
           config.carbon_aware);
+      policy->set_aggregation(config.aggregate_planner);
+      return policy;
+    }
     case PolicyKind::kGreenMatchGreedy:
       return std::make_unique<GreenMatchPolicy>(
           config.horizon_slots, /*greedy=*/true,

@@ -146,6 +146,13 @@ struct PolicyConfig {
   /// NightShift: daily run window for background tasks.
   double window_start_h = 9.0;
   double window_end_h = 17.0;
+  /// GreenMatch: build the flow network over task classes (tasks with
+  /// identical planner signatures share one node) instead of one node
+  /// per task. The ablation/equivalence-test escape hatch back to the
+  /// per-task network; deliberately NOT reachable from the
+  /// config-file key space (see test_leak_j_per_slot for the
+  /// precedent).
+  bool aggregate_planner = true;
 
   void validate() const;
 };

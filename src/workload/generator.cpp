@@ -75,7 +75,8 @@ void generate_tasks(const WorkloadSpec& spec, std::uint32_t group_count,
   storage::TaskId id = 1;
   for (const auto& cls : spec.task_classes) {
     for (int day = 0; day < spec.duration_days; ++day) {
-      const std::int64_t count = sample_poisson(task_rng, cls.mean_per_day);
+      const std::int64_t count =
+          sample_poisson(task_rng, cls.mean_per_day * spec.task_scale);
       for (std::int64_t i = 0; i < count; ++i) {
         storage::BackgroundTask task;
         task.id = id++;

@@ -106,6 +106,7 @@ WorkloadSpec WorkloadSpec::backup_heavy(int duration_days,
 
 void WorkloadSpec::validate() const {
   GM_CHECK(duration_days > 0, "workload duration must be positive");
+  GM_CHECK(task_scale > 0.0, "task scale must be positive");
   GM_CHECK(foreground.base_rate_per_s >= 0.0, "negative arrival rate");
   GM_CHECK(foreground.read_fraction >= 0.0 &&
                foreground.read_fraction <= 1.0,
@@ -132,6 +133,7 @@ std::uint64_t WorkloadSpec::fingerprint() const {
     mix_u(std::bit_cast<std::uint64_t>(v));
   };
   mix_u(static_cast<std::uint64_t>(duration_days));
+  mix_d(task_scale);
   mix_d(foreground.base_rate_per_s);
   mix_d(foreground.read_fraction);
   mix_d(foreground.weekend_factor);

@@ -48,6 +48,11 @@ struct ForegroundSpec {
 struct WorkloadSpec {
   int duration_days = 7;
   std::uint64_t seed = 1234;
+  /// Multiplier applied to every task class's mean_per_day at
+  /// generation time. The deep-queue knob for scale experiments:
+  /// raising it floods the planner's pending pool without touching
+  /// the per-class mix ratios.
+  double task_scale = 1.0;
   ForegroundSpec foreground;
   std::vector<TaskClassSpec> task_classes;
 

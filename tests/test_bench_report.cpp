@@ -53,6 +53,22 @@ TEST(BenchRecord, RoundTripsThroughRenderAndParse) {
   EXPECT_EQ(out.git_sha, in.git_sha);
 }
 
+// google-benchmark `_cv` aggregate rows are dimensionless ratios; the
+// reporter records them with an empty unit (never scaled into "ns" —
+// the PR3 baseline carried cv ratios as multi-million-ns values). An
+// empty unit and a sub-1 value must survive the JSONL round trip.
+TEST(BenchRecord, CvAggregateRowRoundTripsUnitless) {
+  BenchRecord in = sample_record();
+  in.bench = "BM_GreenMatchPlanDay_cv";
+  in.metric = "real_time";
+  in.value = 0.0137;
+  in.unit = "";
+  const BenchRecord out = parse_bench_record(render_record(in));
+  EXPECT_EQ(out.bench, in.bench);
+  EXPECT_EQ(out.unit, "");
+  EXPECT_DOUBLE_EQ(out.value, 0.0137);
+}
+
 TEST(BenchRecord, EscapesSpecialCharactersInStrings) {
   BenchRecord in = sample_record();
   in.bench = "quote\" backslash\\ newline\n";

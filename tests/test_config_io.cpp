@@ -119,6 +119,25 @@ TEST(ConfigIo, AppliesAllSections) {
   EXPECT_EQ(config.min_dwell_slots, 3);
 }
 
+// workload.task_scale is the deep-queue knob for the massive-fleet
+// bench tier: it must survive an apply -> echo -> apply round trip so
+// scale manifests replay exactly.
+TEST(ConfigIo, TaskScaleAppliesAndEchoes) {
+  auto config = core::ExperimentConfig::canonical();
+  core::apply_config(
+      config, KeyValueConfig::parse("workload.task_scale = 2.5\n"));
+  EXPECT_DOUBLE_EQ(config.workload.task_scale, 2.5);
+
+  std::string echo_text;
+  for (const auto& [k, v] : core::config_echo(config))
+    echo_text += k + " = " + v + "\n";
+  auto replay = core::ExperimentConfig::canonical();
+  core::apply_config(replay, KeyValueConfig::parse(echo_text));
+  EXPECT_DOUBLE_EQ(replay.workload.task_scale, 2.5);
+  EXPECT_EQ(replay.workload.fingerprint(),
+            config.workload.fingerprint());
+}
+
 TEST(ConfigIo, RejectsUnknownKeys) {
   auto config = core::ExperimentConfig::canonical();
   const auto kv = KeyValueConfig::parse("polcy.kind = asap\n");  // typo

@@ -175,5 +175,187 @@ TEST_P(RandomAssignment, MatchesBruteForce) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomAssignment,
                          ::testing::Range(1, 21));
 
+// ---- warm starts and the radix queue --------------------------------
+
+/// A reusable random layered instance roughly shaped like the planner
+/// network: source → mid layer → late layer → sink, mixed capacities.
+struct RandomNetwork {
+  struct E {
+    int a, b;
+    long long cap, cost;
+  };
+  std::vector<E> edges;
+  int nodes = 0;
+
+  explicit RandomNetwork(std::uint64_t seed) {
+    Rng rng(seed);
+    const int mids = 3 + static_cast<int>(rng.uniform_u64(4));
+    const int lates = 3 + static_cast<int>(rng.uniform_u64(4));
+    nodes = 2 + mids + lates;
+    const int sink = nodes - 1;
+    for (int m = 0; m < mids; ++m) {
+      edges.push_back({0, 1 + m,
+                       1 + static_cast<long long>(rng.uniform_u64(4)),
+                       static_cast<long long>(rng.uniform_u64(8))});
+      for (int l = 0; l < lates; ++l)
+        if (rng.uniform_u64(3) != 0)
+          edges.push_back({1 + m, 1 + mids + l,
+                           1 + static_cast<long long>(rng.uniform_u64(3)),
+                           static_cast<long long>(rng.uniform_u64(20))});
+    }
+    for (int l = 0; l < lates; ++l)
+      edges.push_back({1 + mids + l, sink,
+                       1 + static_cast<long long>(rng.uniform_u64(4)),
+                       static_cast<long long>(rng.uniform_u64(1000))});
+  }
+
+  std::vector<int> build(MinCostFlow& f) const {
+    f.reset(nodes);
+    std::vector<int> ids;
+    for (const auto& e : edges)
+      ids.push_back(f.add_edge(e.a, e.b, e.cap, e.cost));
+    return ids;
+  }
+};
+
+/// Shortest original-cost distances from the source — the canonical
+/// feasible potential for a *fresh* network (triangle inequality ⇒
+/// non-negative reduced costs on every edge). Note the solver's final
+/// potentials are feasible only for the *residual* network it solved:
+/// a saturated forward edge regains capacity on a rebuild and may go
+/// reduced-negative, which is exactly what the O(E) validation at the
+/// warm-start seam catches (see InvalidSeedFallsBack). Callers like
+/// the planner therefore clamp before re-seeding.
+std::vector<long long> bellman_potentials(const RandomNetwork& net) {
+  std::vector<long long> dist(static_cast<std::size_t>(net.nodes),
+                              LLONG_MAX / 8);
+  dist[0] = 0;
+  for (int pass = 0; pass < net.nodes; ++pass)
+    for (const auto& e : net.edges)
+      if (dist[e.a] < LLONG_MAX / 8)
+        dist[e.b] = std::min(dist[e.b], dist[e.a] + e.cost);
+  return dist;  // unreachable nodes keep a large, overflow-safe value
+}
+
+/// Every residual edge must keep a non-negative reduced cost under the
+/// solver's final potentials — the invariant warm starts rely on.
+void expect_reduced_costs_nonnegative(const RandomNetwork& net,
+                                      const MinCostFlow& f,
+                                      const std::vector<int>& ids) {
+  const auto& pot = f.potentials();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto& e = net.edges[i];
+    const long long flow = f.flow_on(ids[i]);
+    if (e.cap - flow > 0)  // forward residual
+      EXPECT_GE(e.cost + pot[e.a] - pot[e.b], 0)
+          << "edge " << e.a << "->" << e.b;
+    if (flow > 0)  // reverse residual
+      EXPECT_GE(-e.cost + pot[e.b] - pot[e.a], 0)
+          << "edge " << e.b << "->" << e.a << " (residual)";
+  }
+}
+
+class WarmStart : public ::testing::TestWithParam<int> {};
+
+TEST_P(WarmStart, SameCostAsColdAndInvariantHolds) {
+  const RandomNetwork net(static_cast<std::uint64_t>(GetParam()));
+  MinCostFlow f(1);
+  auto ids = net.build(f);
+  const auto cold = f.solve(0, net.nodes - 1);
+  expect_reduced_costs_nonnegative(net, f, ids);
+
+  const auto warm_seed = bellman_potentials(net);
+  ids = net.build(f);  // identical network, fresh flow
+  const auto before = f.warm_accepts();
+  const auto warm = f.solve(0, net.nodes - 1, LLONG_MAX / 4, warm_seed);
+  EXPECT_EQ(f.warm_accepts(), before + 1);
+  EXPECT_EQ(warm.flow, cold.flow);
+  EXPECT_EQ(warm.cost, cold.cost);
+  expect_reduced_costs_nonnegative(net, f, ids);
+}
+
+TEST_P(WarmStart, InvalidSeedFallsBackToCold) {
+  const RandomNetwork net(static_cast<std::uint64_t>(GetParam()));
+  MinCostFlow f(1);
+  net.build(f);
+  const auto cold = f.solve(0, net.nodes - 1);
+
+  // A seed that makes some reduced cost negative: a huge potential on
+  // the sink forces every edge into it negative.
+  std::vector<long long> bad(static_cast<std::size_t>(net.nodes), 0);
+  bad[static_cast<std::size_t>(net.nodes) - 1] = 1'000'000'000;
+  net.build(f);
+  const auto rejects = f.warm_rejects();
+  const auto r = f.solve(0, net.nodes - 1, LLONG_MAX / 4, bad);
+  EXPECT_EQ(f.warm_rejects(), rejects + 1);
+  EXPECT_EQ(r.flow, cold.flow);
+  EXPECT_EQ(r.cost, cold.cost);
+}
+
+TEST_P(WarmStart, SizeMismatchFallsBackToCold) {
+  const RandomNetwork net(static_cast<std::uint64_t>(GetParam()));
+  MinCostFlow f(1);
+  net.build(f);
+  const auto cold = f.solve(0, net.nodes - 1);
+  net.build(f);
+  const auto rejects = f.warm_rejects();
+  const auto r = f.solve(0, net.nodes - 1, LLONG_MAX / 4,
+                         std::vector<long long>(3, 0));
+  EXPECT_EQ(f.warm_rejects(), rejects + 1);
+  EXPECT_EQ(r.flow, cold.flow);
+  EXPECT_EQ(r.cost, cold.cost);
+}
+
+TEST_P(WarmStart, RadixQueueMatchesBinaryHeap) {
+  const RandomNetwork net(static_cast<std::uint64_t>(GetParam()));
+  MinCostFlow f(1);
+  net.build(f);
+  const auto binary = f.solve(0, net.nodes - 1);
+
+  f.set_queue(MinCostFlow::QueueKind::kRadix);
+  auto ids = net.build(f);
+  const auto radix = f.solve(0, net.nodes - 1);
+  EXPECT_EQ(radix.flow, binary.flow);
+  EXPECT_EQ(radix.cost, binary.cost);
+  expect_reduced_costs_nonnegative(net, f, ids);
+
+  // Warm-started radix solve still agrees.
+  const auto warm_seed = bellman_potentials(net);
+  net.build(f);
+  const auto before = f.warm_accepts();
+  const auto warm = f.solve(0, net.nodes - 1, LLONG_MAX / 4, warm_seed);
+  EXPECT_EQ(f.warm_accepts(), before + 1);
+  EXPECT_EQ(warm.flow, binary.flow);
+  EXPECT_EQ(warm.cost, binary.cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WarmStart, ::testing::Range(1, 26));
+
+TEST(MinCostFlowRadix, MatchesBruteForceAssignment) {
+  for (int seed = 1; seed <= 20; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed));
+    const int n = 3 + static_cast<int>(rng.uniform_u64(3));
+    const int m = n + static_cast<int>(rng.uniform_u64(2));
+    std::vector<std::vector<long long>> cost(
+        n, std::vector<long long>(m));
+    for (auto& row : cost)
+      for (auto& c : row)
+        c = static_cast<long long>(rng.uniform_u64(50));
+
+    MinCostFlow f(n + m + 2);
+    f.set_queue(MinCostFlow::QueueKind::kRadix);
+    const int sink = n + m + 1;
+    for (int i = 0; i < n; ++i) f.add_edge(0, 1 + i, 1, 0);
+    for (int i = 0; i < n; ++i)
+      for (int s = 0; s < m; ++s)
+        f.add_edge(1 + i, 1 + n + s, 1, cost[i][s]);
+    for (int s = 0; s < m; ++s) f.add_edge(1 + n + s, sink, 1, 0);
+
+    const auto r = f.solve(0, sink);
+    EXPECT_EQ(r.flow, n) << "seed " << seed;
+    EXPECT_EQ(r.cost, brute_force_assignment(cost)) << "seed " << seed;
+  }
+}
+
 }  // namespace
 }  // namespace gm::core

@@ -1,0 +1,250 @@
+// Randomized equivalence suite for the task-class-aggregated
+// GreenMatch planner. The aggregated network must be *decision
+// equivalent* to the historical one-node-per-task network: identical
+// matching objective (flow and cost) on every instance, and — because
+// a pending pool whose signatures are all distinct degenerates to the
+// per-task network edge for edge — identical decisions there. Warm
+// starts must never change the objective either: a warm-started
+// replan sequence is compared against cold single-shot solves.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/policies.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace gm::core {
+namespace {
+
+constexpr Seconds kSlot = 3600.0;
+
+ClusterFacts test_facts(int total_nodes) {
+  ClusterFacts f;
+  f.total_nodes = total_nodes;
+  f.min_nodes_for_coverage = std::max(2, total_nodes / 4);
+  f.task_slots_per_node = 4;
+  f.node_idle_floor_w = 120.0;
+  f.node_peak_w = 240.0;
+  f.slot_length_s = kSlot;
+  f.node_boot_energy_j = 18000.0;
+  f.max_utilization_per_node = 0.95;
+  return f;
+}
+
+PendingTask make_task(storage::TaskId id, SimTime deadline,
+                      Seconds remaining, double util) {
+  PendingTask p;
+  p.task.id = id;
+  p.task.release = 0;
+  p.task.deadline = deadline;
+  p.task.work_s = remaining;
+  p.task.utilization = util;
+  p.task.group = static_cast<storage::GroupId>(id % 16);
+  p.remaining_s = remaining;
+  return p;
+}
+
+/// A random planning instance. `duplicates` skews deadlines/work onto
+/// a small set of values so multi-member classes dominate.
+SlotContext random_ctx(Rng& rng, int horizon, bool duplicates,
+                       bool battery) {
+  SlotContext ctx;
+  ctx.slot = static_cast<SlotIndex>(rng.uniform_u64(200));
+  ctx.start = static_cast<SimTime>(ctx.slot) * kSlot;
+  ctx.end = ctx.start + kSlot;
+  ctx.green_forecast_w.resize(static_cast<std::size_t>(horizon));
+  ctx.foreground_util_forecast.resize(static_cast<std::size_t>(horizon));
+  for (int j = 0; j < horizon; ++j) {
+    ctx.green_forecast_w[static_cast<std::size_t>(j)] =
+        static_cast<Watts>(rng.uniform_u64(4000));
+    ctx.foreground_util_forecast[static_cast<std::size_t>(j)] =
+        static_cast<double>(rng.uniform_u64(100)) / 50.0;
+  }
+  ctx.foreground_util = ctx.foreground_util_forecast[0];
+  if (rng.uniform_u64(2) == 0) {
+    ctx.grid_carbon_g_per_kwh.resize(static_cast<std::size_t>(horizon));
+    for (auto& g : ctx.grid_carbon_g_per_kwh)
+      g = 100.0 + static_cast<double>(rng.uniform_u64(600));
+  }
+  if (battery) {
+    ctx.battery_usable_capacity_j = 400.0e6;
+    ctx.battery_stored_j =
+        static_cast<double>(rng.uniform_u64(400)) * 1.0e6;
+    ctx.battery_max_charge_w = 20000.0;
+    ctx.battery_max_discharge_w = 20000.0;
+    ctx.battery_charge_efficiency = 0.9;
+  }
+  ctx.currently_active_nodes = 4;
+
+  const auto n_tasks = rng.uniform_u64(60);
+  for (std::uint64_t i = 0; i < n_tasks; ++i) {
+    SimTime deadline;
+    Seconds remaining;
+    if (duplicates && i > 0 && rng.uniform_u64(3) != 0) {
+      // Clone a previous task's planner signature; id and utilization
+      // still differ, which the flow network cannot see.
+      const auto& prev =
+          ctx.pending[rng.uniform_u64(ctx.pending.size())];
+      deadline = prev.task.deadline;
+      remaining = prev.remaining_s;
+    } else {
+      deadline = ctx.start +
+                 static_cast<SimTime>(rng.uniform_u64(
+                     static_cast<std::uint64_t>(3 * horizon) * 3600));
+      remaining = 0.25 * kSlot +
+                  static_cast<double>(rng.uniform_u64(8 * 3600));
+    }
+    const double util =
+        0.05 + static_cast<double>(rng.uniform_u64(90)) / 100.0;
+    ctx.pending.push_back(make_task(static_cast<storage::TaskId>(i),
+                                    deadline, remaining, util));
+  }
+  std::sort(ctx.pending.begin(), ctx.pending.end(),
+            [](const PendingTask& a, const PendingTask& b) {
+              return a.task.deadline != b.task.deadline
+                         ? a.task.deadline < b.task.deadline
+                         : a.task.id < b.task.id;
+            });
+  return ctx;
+}
+
+/// One single-shot plan with aggregation on or off; returns the
+/// decision, with the solve telemetry in `stats`.
+SlotDecision plan_once(const SlotContext& ctx, const ClusterFacts& facts,
+                       bool aggregate, bool battery, bool carbon,
+                       GreenMatchPolicy::PlanStats* stats) {
+  GreenMatchPolicy policy(24, /*greedy=*/false,
+                          /*replan_every_slot=*/true, battery, carbon);
+  policy.set_aggregation(aggregate);
+  policy.initialize(facts);
+  const auto decision = policy.decide(ctx);
+  *stats = policy.last_plan_stats();
+  return decision;
+}
+
+void expect_valid_run_set(const SlotContext& ctx,
+                          const SlotDecision& decision) {
+  std::set<storage::TaskId> pending_ids;
+  for (const auto& p : ctx.pending) pending_ids.insert(p.task.id);
+  std::set<storage::TaskId> seen;
+  for (const auto id : decision.run_tasks) {
+    EXPECT_TRUE(pending_ids.count(id)) << "ran a non-pending task";
+    EXPECT_TRUE(seen.insert(id).second) << "task ran twice";
+  }
+}
+
+class PlannerEquivalence : public ::testing::TestWithParam<bool> {};
+
+// ≥200 random pending sets (125 seeds × duplicate-heavy and
+// spread-out variants): the aggregated and per-task networks must
+// place the same number of slot-units at the same objective value.
+TEST_P(PlannerEquivalence, SameObjectiveAsPerTaskNetwork) {
+  const bool battery = GetParam();
+  for (std::uint64_t seed = 1; seed <= 125; ++seed) {
+    for (const bool duplicates : {false, true}) {
+      Rng rng(seed * 7919 + (duplicates ? 1 : 0));
+      const int horizon = 4 + static_cast<int>(rng.uniform_u64(21));
+      const auto facts =
+          test_facts(8 + static_cast<int>(rng.uniform_u64(24)));
+      const bool carbon = rng.uniform_u64(2) == 0;
+      const auto ctx = random_ctx(rng, horizon, duplicates, battery);
+
+      GreenMatchPolicy::PlanStats agg_stats, ref_stats;
+      const auto agg = plan_once(ctx, facts, /*aggregate=*/true,
+                                 battery, carbon, &agg_stats);
+      const auto ref = plan_once(ctx, facts, /*aggregate=*/false,
+                                 battery, carbon, &ref_stats);
+
+      ASSERT_EQ(agg_stats.flow, ref_stats.flow)
+          << "seed " << seed << " duplicates " << duplicates;
+      ASSERT_EQ(agg_stats.cost, ref_stats.cost)
+          << "seed " << seed << " duplicates " << duplicates;
+      EXPECT_EQ(agg_stats.tasks, ref_stats.tasks);
+      EXPECT_EQ(ref_stats.classes, ref_stats.tasks)
+          << "reference must be one class per task";
+      EXPECT_LE(agg_stats.classes, agg_stats.tasks);
+      EXPECT_LE(agg_stats.network_nodes, ref_stats.network_nodes);
+      expect_valid_run_set(ctx, agg);
+      expect_valid_run_set(ctx, ref);
+      EXPECT_EQ(agg.eco_speed, ref.eco_speed);
+
+      // All-distinct signatures degenerate to the per-task network
+      // edge for edge: the decisions must be identical, not merely
+      // cost-tied.
+      if (agg_stats.classes == agg_stats.tasks) {
+        EXPECT_EQ(agg.run_tasks, ref.run_tasks)
+            << "seed " << seed << " duplicates " << duplicates;
+        EXPECT_EQ(agg.target_active_nodes, ref.target_active_nodes);
+      }
+    }
+  }
+}
+
+// Duplicate-heavy pools must actually collapse (otherwise this suite
+// exercises nothing).
+TEST_P(PlannerEquivalence, DuplicateSignaturesCollapse) {
+  const bool battery = GetParam();
+  int collapsed = 0, instances = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    const auto facts = test_facts(16);
+    const auto ctx = random_ctx(rng, 12, /*duplicates=*/true, battery);
+    if (ctx.pending.size() < 10) continue;
+    GreenMatchPolicy::PlanStats stats;
+    plan_once(ctx, facts, /*aggregate=*/true, battery, false, &stats);
+    ++instances;
+    if (stats.classes < stats.tasks) ++collapsed;
+  }
+  ASSERT_GT(instances, 5);
+  EXPECT_EQ(collapsed, instances);
+}
+
+INSTANTIATE_TEST_SUITE_P(SupplyOnlyAndBattery, PlannerEquivalence,
+                         ::testing::Bool());
+
+// A warm-started replanning sequence must reach the same objective as
+// a cold solve of every slot's instance: potentials only steer the
+// search, never the optimum.
+TEST(PlannerWarmStart, SequenceMatchesColdSolves) {
+  const auto facts = test_facts(16);
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    Rng rng(seed * 101);
+    GreenMatchPolicy warm_policy(24, false, true, false, false);
+    warm_policy.initialize(facts);
+    SlotContext ctx = random_ctx(rng, 24, /*duplicates=*/true,
+                                 /*battery=*/false);
+    for (int step = 0; step < 6; ++step) {
+      const auto warm_decision = warm_policy.decide(ctx);
+      const auto warm_stats = warm_policy.last_plan_stats();
+
+      GreenMatchPolicy::PlanStats cold_stats;
+      plan_once(ctx, facts, true, false, false, &cold_stats);
+      ASSERT_EQ(warm_stats.flow, cold_stats.flow)
+          << "seed " << seed << " step " << step;
+      ASSERT_EQ(warm_stats.cost, cold_stats.cost)
+          << "seed " << seed << " step " << step;
+      expect_valid_run_set(ctx, warm_decision);
+      if (step > 0) EXPECT_TRUE(warm_stats.warm_start);
+
+      // Advance one slot: shift forecasts, drift work, drop/add tasks.
+      ctx.slot += 1;
+      ctx.start += kSlot;
+      ctx.end += kSlot;
+      std::rotate(ctx.green_forecast_w.begin(),
+                  ctx.green_forecast_w.begin() + 1,
+                  ctx.green_forecast_w.end());
+      for (auto& p : ctx.pending)
+        p.remaining_s = std::max(0.25 * kSlot, p.remaining_s - 600.0);
+      if (!ctx.pending.empty() && rng.uniform_u64(2) == 0)
+        ctx.pending.erase(ctx.pending.begin());
+    }
+    EXPECT_GT(warm_policy.warm_accepts(), 0u) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace gm::core

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Diff two bench reports (BENCH_*.json / *.jsonl) on (bench, metric).
+
+The regression workflow in docs/performance.md: join the baseline and
+current reports on the (bench, metric) pair, compare medians, and flag
+anything that moved more than the threshold (10% by default — micro
+medians on an idle box are stable to a few percent).
+
+    python3 tools/gm_bench_diff.py BENCH_PR5.json bench-report.json
+    python3 tools/gm_bench_diff.py --threshold=0.25 old.json new.json
+
+Accepts both formats read_report understands: a gm_bench_merge array
+or raw JSONL (one record per line). Only median rows are compared —
+a record counts as a median when its bench name carries the
+google-benchmark `_median` aggregate suffix (or `_median` embedded
+before the `/iterations:N` suffix), or when its metric name ends in
+`_median` (the convention the checked-in `*_pre_prN_median` baseline
+records use). Mean/stddev/cv rows and unmatched pairs are ignored, so
+a baseline file with extra benches diffs cleanly against a filtered
+CI run.
+
+Exit code is 0 even when deltas are flagged: shared CI runners are too
+noisy to gate on wall-clock thresholds (docs/performance.md), so this
+is a report, not a gate. --fail-on-regression flips that for local
+A/B use.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+_MEDIAN_BENCH = re.compile(r"_median(/iterations:\d+)?$")
+
+
+def load_records(path):
+    """Returns the list of record dicts in `path` (array or JSONL)."""
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+    stripped = text.lstrip()
+    if stripped.startswith("["):
+        return json.loads(text)
+    records = []
+    for line in text.splitlines():
+        line = line.strip().rstrip(",")
+        if not line or line in "[]":
+            continue
+        records.append(json.loads(line))
+    return records
+
+
+def median_rows(records):
+    """Maps (bench, metric) -> value for every median row."""
+    rows = {}
+    for r in records:
+        bench = r.get("bench", "")
+        metric = r.get("metric", "")
+        if not (_MEDIAN_BENCH.search(bench) or metric.endswith("_median")):
+            continue
+        rows[(bench, metric)] = float(r.get("value", 0.0))
+    return rows
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="join two bench reports on (bench, metric) and "
+                    "flag median deltas beyond the threshold")
+    parser.add_argument("baseline", help="older report (the reference)")
+    parser.add_argument("current", help="newer report to compare")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative delta that gets flagged "
+                             "(default 0.10 = 10%%)")
+    parser.add_argument("--fail-on-regression", action="store_true",
+                        help="exit 1 if any metric slowed down beyond "
+                             "the threshold (off by default: CI noise)")
+    args = parser.parse_args(argv)
+
+    base = median_rows(load_records(args.baseline))
+    cur = median_rows(load_records(args.current))
+    joined = sorted(set(base) & set(cur))
+    if not joined:
+        print("no common (bench, metric) median rows; nothing to diff")
+        return 0
+
+    flagged = regressions = 0
+    width = max(len(f"{b} {m}") for b, m in joined)
+    for bench, metric in joined:
+        old, new = base[(bench, metric)], cur[(bench, metric)]
+        if old == 0.0:
+            continue
+        delta = (new - old) / old
+        # Throughput counters are higher-is-better; everything else in
+        # the reports is a duration.
+        worse = delta < 0 if "per_second" in metric else delta > 0
+        mark = ""
+        if abs(delta) > args.threshold:
+            flagged += 1
+            mark = "  <-- slower" if worse else "  <-- faster"
+            if worse:
+                regressions += 1
+        print(f"{bench + ' ' + metric:<{width}}  "
+              f"{old:>14.3f} -> {new:>14.3f}  {delta:+8.1%}{mark}")
+
+    print(f"\n{len(joined)} compared, {flagged} beyond "
+          f"{args.threshold:.0%} ({regressions} slower)")
+    return 1 if args.fail_on_regression and regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
