@@ -112,13 +112,27 @@ void BM_GreenMatchPlanDay(benchmark::State& state) {
   config.policy.kind = core::PolicyKind::kGreenMatch;
   config.policy.deferral_fraction = 1.0;
   double plan_ms = 0.0;
+  double pops = 0.0, augments = 0.0, warm = 0.0;
   for (auto _ : state) {
     const auto r = core::run_experiment(config).result;
     plan_ms += r.scheduler.plan_solve_ms_total;
+    pops += static_cast<double>(r.scheduler.solver_dijkstra_pops);
+    augments +=
+        static_cast<double>(r.scheduler.solver_augmenting_paths);
+    warm += static_cast<double>(r.scheduler.warm_accepts);
     benchmark::DoNotOptimize(r.scheduler.plan_solve_ms_total);
   }
-  state.counters["plan_ms_per_run"] = benchmark::Counter(
-      plan_ms / static_cast<double>(state.iterations()));
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["plan_ms_per_run"] =
+      benchmark::Counter(plan_ms / iters);
+  // Solver work per run (SolveStats totals): a perf regression that
+  // holds wall-time but does more Dijkstra work still shows up here.
+  state.counters["dijkstra_pops_per_run"] =
+      benchmark::Counter(pops / iters);
+  state.counters["augmenting_paths_per_run"] =
+      benchmark::Counter(augments / iters);
+  state.counters["warm_accepts_per_run"] =
+      benchmark::Counter(warm / iters);
 }
 BENCHMARK(BM_GreenMatchPlanDay)->Unit(benchmark::kMillisecond);
 
@@ -190,6 +204,45 @@ void BM_ObsScopeProfiled(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ObsScopeProfiled);
+
+// Incremental cost of decision provenance: the same one-day GreenMatch
+// run with a tracing recorder attached, provenance off vs on. The
+// delta between the pair is what --provenance costs end to end
+// (per-task decision demux in plan_flow plus JSONL serialization);
+// the trace itself goes to /dev/null so disk speed stays out of the
+// measurement.
+void provenance_run(benchmark::State& state, bool provenance) {
+  auto config = core::ExperimentConfig::canonical();
+  config.workload.duration_days = 1;
+  config.policy.kind = core::PolicyKind::kGreenMatch;
+  config.policy.deferral_fraction = 1.0;
+  std::uint64_t decisions = 0;
+  for (auto _ : state) {
+    obs::RecorderConfig rc;
+    rc.trace_path = "/dev/null";
+    rc.provenance = provenance;
+    auto recorder = std::make_shared<obs::Recorder>(rc);
+    const auto artifacts = core::run_experiment(config, recorder);
+    recorder->finish();
+    for (const char* a : {"run", "defer", "beyond", "drop"})
+      decisions +=
+          recorder->metrics().counter(std::string("decisions.") + a);
+    benchmark::DoNotOptimize(artifacts.result.energy.brown_j);
+  }
+  state.counters["decisions_per_run"] = benchmark::Counter(
+      static_cast<double>(decisions) /
+      static_cast<double>(state.iterations()));
+}
+
+void BM_ProvenanceDisabled(benchmark::State& state) {
+  provenance_run(state, false);
+}
+BENCHMARK(BM_ProvenanceDisabled)->Unit(benchmark::kMillisecond);
+
+void BM_ProvenanceEnabled(benchmark::State& state) {
+  provenance_run(state, true);
+}
+BENCHMARK(BM_ProvenanceEnabled)->Unit(benchmark::kMillisecond);
 
 void BM_SolarPower(benchmark::State& state) {
   energy::SolarConfig config;

@@ -1,8 +1,33 @@
 #include <algorithm>
+#include <cmath>
 
 #include "core/policies.hpp"
+#include "obs/recorder.hpp"
 
 namespace gm::core {
+
+namespace {
+
+/// Shared provenance emitter for the greedy baselines: one record per
+/// pending task, run-or-deferred with the given cause. Callers gate on
+/// provenance being enabled before building the reason strings.
+void emit_decision(obs::Recorder* rec, const SlotContext& ctx,
+                   const char* policy, const PendingTask& p, bool ran,
+                   const char* reason, Seconds slot_len) {
+  obs::DecisionSample d;
+  d.slot = ctx.slot;
+  d.t = ctx.start;
+  d.policy = policy;
+  d.task = p.task.id;
+  d.action = ran ? "run" : "defer";
+  d.reason = reason;
+  if (ran) d.chosen_offset = 0;
+  d.deadline_slack = static_cast<std::int64_t>(
+      std::floor(p.slack(ctx.start) / slot_len));
+  rec->record_decision(d);
+}
+
+}  // namespace
 
 SlotDecision AsapPolicy::decide(const SlotContext& ctx) {
   SlotDecision decision;
@@ -12,12 +37,26 @@ SlotDecision AsapPolicy::decide(const SlotContext& ctx) {
   const double util_cap =
       facts_.total_nodes * facts_.max_utilization_per_node;
   const int slot_cap = facts_.total_nodes * facts_.task_slots_per_node;
+  obs::Recorder* rec = obs::current_recorder();
+  const bool provenance = rec && rec->provenance();
+  bool full = false;
   for (const auto& p : ctx.pending) {
-    if (count >= slot_cap) break;
-    if (util + p.task.utilization > util_cap) break;
+    if (full || count >= slot_cap ||
+        util + p.task.utilization > util_cap) {
+      // The admission loop breaks at the first capacity miss; for
+      // provenance every remaining task still gets its "why not".
+      if (!provenance) break;
+      full = true;
+      emit_decision(rec, ctx, name(), p, false, "capacity",
+                    facts_.slot_length_s);
+      continue;
+    }
     decision.run_tasks.push_back(p.task.id);
     util += p.task.utilization;
     ++count;
+    if (provenance)
+      emit_decision(rec, ctx, name(), p, true, "asap",
+                    facts_.slot_length_s);
   }
   decision.target_active_nodes = nodes_for_load(util, count);
   return decision;

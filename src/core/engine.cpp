@@ -1,6 +1,7 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <unordered_map>
 #include <unordered_set>
@@ -462,11 +463,22 @@ void SimulationEngine::run_slot(SlotIndex slot) {
                        by_deadline);
     pending_sorted_ = pending_.size();
 
-    // 2. Policy decision.
+    // 2. Policy decision. The extra steady_clock reads around decide()
+    //    feed the per-slot plan-latency histogram (p50/p95/p99 at
+    //    finish) and are taken only when a recorder is attached.
     const SlotContext& ctx = make_context(slot, start, end);
     SlotDecision decision;
-    {
-      GM_OBS_SCOPE("policy.decide");
+    if (recorder_) {
+      const auto plan_t0 = std::chrono::steady_clock::now();
+      {
+        GM_OBS_SCOPE("policy.decide");
+        decision = policy_->decide(ctx);
+      }
+      recorder_->observe_plan_latency(
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - plan_t0)
+              .count());
+    } else {
       decision = policy_->decide(ctx);
     }
 
@@ -733,8 +745,20 @@ RunArtifacts SimulationEngine::finalize() {
   r.scheduler.assignment_failures = assignment_failures_;
   r.scheduler.nodes_failed = nodes_failed_;
   r.scheduler.mean_active_nodes = active_nodes_tw_.time_average();
-  if (const auto* gm = dynamic_cast<const GreenMatchPolicy*>(policy_.get()))
+  if (const auto* gm =
+          dynamic_cast<const GreenMatchPolicy*>(policy_.get())) {
     r.scheduler.plan_solve_ms_total = gm->solve_ms_total();
+    r.scheduler.plan_cache_hits = gm->plan_cache_hits();
+    r.scheduler.warm_accepts = gm->warm_accepts();
+    r.scheduler.warm_rejects = gm->warm_rejects();
+    const auto& totals = gm->solver_totals();
+    r.scheduler.solver_solves = totals.solves;
+    r.scheduler.solver_dijkstra_runs = totals.dijkstra_runs;
+    r.scheduler.solver_dijkstra_pops = totals.dijkstra_pops;
+    r.scheduler.solver_relaxations = totals.dijkstra_relaxations;
+    r.scheduler.solver_augmenting_paths = totals.augmenting_paths;
+    r.scheduler.solver_arena_bytes_peak = totals.arena_bytes_peak;
+  }
 
   if (recorder_) {
     auto& m = recorder_->metrics();
@@ -761,6 +785,28 @@ RunArtifacts SimulationEngine::finalize() {
     m.gauge_set("run.mean_active_nodes", r.scheduler.mean_active_nodes);
     m.gauge_set("run.plan_solve_ms_total",
                 r.scheduler.plan_solve_ms_total);
+    // Flow-planner solver telemetry (satellite of the provenance
+    // work): all-zero for non-GreenMatch policies, so emit only when
+    // the planner actually solved something.
+    if (r.scheduler.solver_solves > 0 || r.scheduler.warm_accepts > 0 ||
+        r.scheduler.warm_rejects > 0) {
+      m.counter_set("planner.solves", r.scheduler.solver_solves);
+      m.counter_set("planner.plan_cache_hits",
+                    r.scheduler.plan_cache_hits);
+      m.counter_set("planner.warm_accepts", r.scheduler.warm_accepts);
+      m.counter_set("planner.warm_rejects", r.scheduler.warm_rejects);
+      m.counter_set("planner.dijkstra_runs",
+                    r.scheduler.solver_dijkstra_runs);
+      m.counter_set("planner.dijkstra_pops",
+                    r.scheduler.solver_dijkstra_pops);
+      m.counter_set("planner.dijkstra_relaxations",
+                    r.scheduler.solver_relaxations);
+      m.counter_set("planner.augmenting_paths",
+                    r.scheduler.solver_augmenting_paths);
+      m.gauge_set("planner.arena_bytes_peak",
+                  static_cast<double>(
+                      r.scheduler.solver_arena_bytes_peak));
+    }
     m.gauge_set("run.read_latency_p95_s", r.qos.read_latency_p95_s);
     m.gauge_set("run.battery_equivalent_cycles",
                 r.battery.equivalent_cycles);

@@ -305,11 +305,11 @@ SlotDecision GreenMatchPolicy::plan_flow(const SlotContext& ctx) {
           pack_signature(units, jmax, beyond_cap),
           static_cast<int>(classes_.size()));
       if (inserted)
-        classes_.push_back(TaskClass{units, jmax, beyond_cap, -1, {}});
+        classes_.push_back(TaskClass{units, jmax, beyond_cap, -1, -1, {}});
       cls = it->second;
     } else {
       cls = static_cast<int>(classes_.size());
-      classes_.push_back(TaskClass{units, jmax, beyond_cap, -1, {}});
+      classes_.push_back(TaskClass{units, jmax, beyond_cap, -1, -1, {}});
     }
     classes_[static_cast<std::size_t>(cls)].members.push_back(
         static_cast<std::uint32_t>(i));
@@ -341,13 +341,19 @@ SlotDecision GreenMatchPolicy::plan_flow(const SlotContext& ctx) {
       if (j == 0) tc.slot_edge0 = edge;  // ids contiguous per class
     }
     if (tc.beyond_cap > 0)
-      flow.add_edge(c + 1, beyond, m * tc.beyond_cap,
-                    kBeyondHorizonCost);
+      tc.beyond_edge = flow.add_edge(c + 1, beyond, m * tc.beyond_cap,
+                                     kBeyondHorizonCost);
   }
 
+  // Supply edges come in threes per slot (direct-green, green-supply,
+  // grid); the first id anchors provenance lookups of per-slot green
+  // flow (slot_j → G_j edge = supply_edge0 + 3j).
+  int supply_edge0 = -1;
   for (int j = 0; j < h; ++j) {
     // Direct green at j, then grid.
-    flow.add_edge(slot_base + j, g_base + j, cap_per_slot, 0);
+    const int e =
+        flow.add_edge(slot_base + j, g_base + j, cap_per_slot, 0);
+    if (j == 0) supply_edge0 = e;
     flow.add_edge(g_base + j, sink, std::min(green[j], cap_per_slot), 0);
     flow.add_edge(slot_base + j, sink, cap_per_slot,
                   brown_cost_for_slot(ctx, static_cast<std::size_t>(j),
@@ -419,6 +425,20 @@ SlotDecision GreenMatchPolicy::plan_flow(const SlotContext& ctx) {
   else
     store_potentials(ctx, h, slot_base, g_base, beyond, sink);
 
+  // Solver telemetry: stamp what the solver cannot know, accumulate
+  // lifetime totals for the run report.
+  {
+    MinCostFlow::SolveStats& st = flow_.mutable_last_stats();
+    st.classes = static_cast<std::uint64_t>(n_classes);
+    ++solver_totals_.solves;
+    solver_totals_.dijkstra_runs += st.dijkstra_runs;
+    solver_totals_.dijkstra_pops += st.dijkstra_pops;
+    solver_totals_.dijkstra_relaxations += st.dijkstra_relaxations;
+    solver_totals_.augmenting_paths += st.augmenting_paths;
+    solver_totals_.arena_bytes_peak =
+        std::max(solver_totals_.arena_bytes_peak, st.arena_bytes);
+  }
+
   // Deal each class's slot-0 flow to its first members in deadline
   // order, then emit the run set in pending order.
   SlotDecision decision;
@@ -478,6 +498,88 @@ SlotDecision GreenMatchPolicy::plan_flow(const SlotContext& ctx) {
                           sink + 1,
                           warm};
 
+  // Decision provenance: one record per pending task, attributing its
+  // fate to the solved network. Opt-in (--provenance) because this
+  // re-deals every class's flow; the demux math mirrors the
+  // plan_offsets_ block above, but records only each member's *first*
+  // assignment and its deal rank.
+  if (obs::Recorder* rec = obs::current_recorder();
+      rec && rec->provenance()) {
+    std::vector<int> first_offset;
+    std::vector<int> first_rank;
+    for (std::size_t ci = 0; ci < classes_.size(); ++ci) {
+      const auto& tc = classes_[ci];
+      const std::size_t m = tc.members.size();
+      first_offset.assign(m, -1);
+      first_rank.assign(m, -1);
+      if (tc.slot_edge0 >= 0) {
+        std::size_t rotate = 0;
+        for (std::size_t j = 0; j < tc.jmax; ++j) {
+          const long long f =
+              flow.flow_on(tc.slot_edge0 + static_cast<int>(j));
+          for (long long t = 0; t < f; ++t) {
+            const std::size_t mi =
+                (rotate + static_cast<std::size_t>(t)) % m;
+            if (first_offset[mi] < 0) {
+              first_offset[mi] = static_cast<int>(j);
+              first_rank[mi] = static_cast<int>(t);
+            }
+          }
+          rotate = (rotate + static_cast<std::size_t>(f)) % m;
+        }
+      }
+      const long long beyond_flow =
+          tc.beyond_edge >= 0 ? flow.flow_on(tc.beyond_edge) : 0;
+      for (std::size_t mi = 0; mi < m; ++mi) {
+        const PendingTask& p = ctx.pending[tc.members[mi]];
+        obs::DecisionSample d;
+        d.slot = ctx.slot;
+        d.t = ctx.start;
+        d.policy = name();
+        d.task = p.task.id;
+        d.class_id = static_cast<std::int64_t>(ci) + 1;  // node id
+        d.class_size = static_cast<std::int64_t>(m);
+        d.warm_solve = warm;
+        d.deadline_slack = static_cast<std::int64_t>(
+            std::floor(p.slack(ctx.start) / facts_.slot_length_s));
+        const int j = first_offset[mi];
+        if (j == 0) {
+          d.action = "run";
+          d.reason = (!green.empty() && green[0] > 0)
+                         ? "green-at-offset"
+                         : "brown-at-offset";
+        } else if (j > 0) {
+          d.action = "defer";
+          d.reason = "capacity-or-cost";
+        } else if (beyond_flow > 0) {
+          d.action = "beyond";
+          d.reason = "deferred-beyond-horizon";
+          d.brown_cost = static_cast<double>(kBeyondHorizonCost);
+        } else {
+          d.action = "defer";
+          d.reason = "no-feasible-slot";
+        }
+        if (j >= 0) {
+          d.chosen_offset = j;
+          d.demux_rank = first_rank[mi];
+          // Marginal cost of the assigning path vs the grid
+          // alternative at the same slot: class→slot_j costs j either
+          // way; the green continuation is free, the grid tier pays
+          // the (possibly carbon-scaled) brown penalty.
+          d.green_cost = static_cast<double>(j);
+          d.brown_cost =
+              static_cast<double>(j) +
+              static_cast<double>(brown_cost_for_slot(
+                  ctx, static_cast<std::size_t>(j), carbon_mean));
+          if (supply_edge0 >= 0)
+            d.slot_green_flow = static_cast<double>(
+                flow.flow_on(supply_edge0 + 3 * j));
+        }
+        rec->record_decision(d);
+      }
+    }
+  }
+
   const auto t1 = std::chrono::steady_clock::now();
   solve_ms_total_ +=
       std::chrono::duration<double, std::milli>(t1 - t0).count();
@@ -509,12 +611,18 @@ SlotDecision GreenMatchPolicy::plan_greedy(const SlotContext& ctx) {
   // the horizon if the deadline allows, then earliest brown slots.
   // slot_taken_ is the task's chosen-slot bitmap (O(1) membership
   // instead of scanning a chosen list).
+  obs::Recorder* rec = obs::current_recorder();
+  const bool provenance = rec && rec->provenance();
+
   for (const auto& p : ctx.pending) {
     long long units = units_needed(p, facts_.slot_length_s);
     const std::size_t jmax =
         feasible_horizon(p, ctx.start, facts_.slot_length_s, horizon);
 
     slot_taken_.assign(horizon, 0);
+    int first_offset = -1;       // provenance: earliest placed slot
+    bool first_green = false;    // ... and whether pass 1 placed it
+    long long beyond_units = 0;  // provenance: units deferred past h
     // Pass 1: earliest green slots.
     for (std::size_t j = 0; j < jmax && units > 0; ++j) {
       if (green_left[j] > 0 && cap_left[j] > 0) {
@@ -522,6 +630,10 @@ SlotDecision GreenMatchPolicy::plan_greedy(const SlotContext& ctx) {
         --green_left[j];
         --cap_left[j];
         --units;
+        if (first_offset < 0) {
+          first_offset = static_cast<int>(j);
+          first_green = true;
+        }
       }
     }
     // Pass 2: defer beyond horizon when the deadline allows.
@@ -532,7 +644,8 @@ SlotDecision GreenMatchPolicy::plan_greedy(const SlotContext& ctx) {
       const auto beyond_slots = static_cast<long long>(
           std::floor(static_cast<double>(p.task.deadline - horizon_end) /
                      facts_.slot_length_s));
-      units -= std::min(units, beyond_slots);
+      beyond_units = std::min(units, beyond_slots);
+      units -= beyond_units;
     }
     // Pass 3: earliest remaining (brown) slots.
     for (std::size_t j = 0; j < jmax && units > 0; ++j) {
@@ -540,12 +653,37 @@ SlotDecision GreenMatchPolicy::plan_greedy(const SlotContext& ctx) {
         slot_taken_[j] = 1;
         --cap_left[j];
         --units;
+        if (first_offset < 0) first_offset = static_cast<int>(j);
       }
     }
     if (!slot_taken_.empty() && slot_taken_[0]) {
       decision.run_tasks.push_back(p.task.id);
       util += p.task.utilization;
       ++count;
+    }
+    if (provenance) {
+      obs::DecisionSample d;
+      d.slot = ctx.slot;
+      d.t = ctx.start;
+      d.policy = name();
+      d.task = p.task.id;
+      d.deadline_slack = static_cast<std::int64_t>(
+          std::floor(p.slack(ctx.start) / facts_.slot_length_s));
+      if (first_offset == 0) {
+        d.action = "run";
+        d.reason = first_green ? "green-at-offset" : "brown-at-offset";
+      } else if (first_offset > 0) {
+        d.action = "defer";
+        d.reason = first_green ? "green-at-offset" : "capacity-or-cost";
+      } else if (beyond_units > 0) {
+        d.action = "beyond";
+        d.reason = "deferred-beyond-horizon";
+      } else {
+        d.action = "defer";
+        d.reason = "no-feasible-slot";
+      }
+      if (first_offset >= 0) d.chosen_offset = first_offset;
+      rec->record_decision(d);
     }
   }
 

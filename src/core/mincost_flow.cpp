@@ -49,6 +49,30 @@ bool MinCostFlow::potentials_valid(
   return true;
 }
 
+std::uint64_t MinCostFlow::arena_bytes() const {
+  std::uint64_t bytes = graph_.capacity() * sizeof(graph_[0]);
+  for (const auto& adjacency : graph_)
+    bytes += adjacency.capacity() * sizeof(Edge);
+  bytes += edge_refs_.capacity() * sizeof(edge_refs_[0]);
+  bytes += potential_.capacity() * sizeof(long long);
+  bytes += dist_.capacity() * sizeof(long long);
+  bytes += prev_node_.capacity() * sizeof(int);
+  bytes += prev_edge_.capacity() * sizeof(int);
+  bytes += heap_.capacity() * sizeof(heap_[0]);
+  bytes += radix_buckets_.capacity() * sizeof(radix_buckets_[0]);
+  for (const auto& bucket : radix_buckets_)
+    bytes += bucket.capacity() * sizeof(bucket[0]);
+  return bytes;
+}
+
+void MinCostFlow::begin_stats(bool warm) {
+  last_stats_ = SolveStats{};
+  last_stats_.nodes = node_count();
+  last_stats_.arcs = edge_refs_.size();
+  last_stats_.warm = warm;
+  last_stats_.arena_bytes = arena_bytes();
+}
+
 MinCostFlow::Result MinCostFlow::solve(NodeIdx s, NodeIdx t,
                                        long long max_flow) {
   GM_OBS_SCOPE("planner.mincostflow.solve");
@@ -56,6 +80,7 @@ MinCostFlow::Result MinCostFlow::solve(NodeIdx s, NodeIdx t,
            "flow terminal out of range");
   GM_CHECK(s != t, "source equals sink");
   potential_.assign(graph_.size(), 0);  // valid: costs >= 0
+  begin_stats(/*warm=*/false);
   return run_ssp(s, t, max_flow);
 }
 
@@ -70,13 +95,16 @@ MinCostFlow::Result MinCostFlow::solve(
   // relies on is checked here, once, over the whole residual network.
   // A stale seed (network changed shape, costs moved) degrades to the
   // always-valid cold start instead of corrupting the solve.
+  bool warm = false;
   if (potentials_valid(warm_potentials)) {
     potential_ = warm_potentials;
     ++warm_accepts_;
+    warm = true;
   } else {
     potential_.assign(graph_.size(), 0);
     ++warm_rejects_;
   }
+  begin_stats(warm);
   return run_ssp(s, t, max_flow);
 }
 
@@ -89,10 +117,12 @@ MinCostFlow::Result MinCostFlow::run_ssp(NodeIdx s, NodeIdx t,
 
   Result result;
   while (result.flow < max_flow) {
+    ++last_stats_.dijkstra_runs;
     const bool reached = queue_ == QueueKind::kRadix
                              ? dijkstra_radix(s, t)
                              : dijkstra_binary(s, t);
     if (!reached) break;  // no augmenting path
+    ++last_stats_.augmenting_paths;
 
     // Johnson potential update, clamped at dist[t]. For settled nodes
     // this is the classic exact update; for nodes the early exit left
@@ -129,10 +159,15 @@ bool MinCostFlow::dijkstra_binary(NodeIdx s, NodeIdx t) {
   dist_[s] = 0;
   heap_.clear();
   heap_.emplace_back(0, s);
+  // Telemetry counters live in registers for the duration of the run;
+  // folded into last_stats_ once at exit (see SolveStats).
+  std::uint64_t pops = 0;
+  std::uint64_t relaxations = 0;
   while (!heap_.empty()) {
     std::pop_heap(heap_.begin(), heap_.end(), heap_greater);
     const auto [d, u] = heap_.back();
     heap_.pop_back();
+    ++pops;
     if (d > dist_[u]) continue;
     // Early exit once the sink is settled: remaining pops have
     // d >= dist[t], so no relaxation can improve any node on the
@@ -143,6 +178,7 @@ bool MinCostFlow::dijkstra_binary(NodeIdx s, NodeIdx t) {
     for (int i = 0; i < static_cast<int>(graph_[u].size()); ++i) {
       const Edge& e = graph_[u][i];
       if (e.capacity <= 0) continue;
+      ++relaxations;
       const long long nd = d + e.cost + potential_[u] - potential_[e.to];
       GM_ASSERT_MSG(e.cost + potential_[u] - potential_[e.to] >= 0,
                     "negative reduced cost — potentials invalid");
@@ -155,6 +191,8 @@ bool MinCostFlow::dijkstra_binary(NodeIdx s, NodeIdx t) {
       }
     }
   }
+  last_stats_.dijkstra_pops += pops;
+  last_stats_.dijkstra_relaxations += relaxations;
   return dist_[t] < kInfCost;
 }
 
@@ -178,6 +216,8 @@ bool MinCostFlow::dijkstra_radix(NodeIdx s, NodeIdx t) {
   };
   radix_buckets_[0].emplace_back(0, s);
   std::size_t live = 1;
+  std::uint64_t pops = 0;
+  std::uint64_t relaxations = 0;
   while (live > 0) {
     if (radix_buckets_[0].empty()) {
       int b = 1;
@@ -193,11 +233,13 @@ bool MinCostFlow::dijkstra_radix(NodeIdx s, NodeIdx t) {
     const auto [d, u] = radix_buckets_[0].back();
     radix_buckets_[0].pop_back();
     --live;
+    ++pops;
     if (d > dist_[u]) continue;
     if (u == t) break;  // early exit; caller clamps potentials
     for (int i = 0; i < static_cast<int>(graph_[u].size()); ++i) {
       const Edge& e = graph_[u][i];
       if (e.capacity <= 0) continue;
+      ++relaxations;
       const long long nd = d + e.cost + potential_[u] - potential_[e.to];
       GM_ASSERT_MSG(e.cost + potential_[u] - potential_[e.to] >= 0,
                     "negative reduced cost — potentials invalid");
@@ -211,6 +253,8 @@ bool MinCostFlow::dijkstra_radix(NodeIdx s, NodeIdx t) {
     }
   }
   for (auto& b : radix_buckets_) b.clear();
+  last_stats_.dijkstra_pops += pops;
+  last_stats_.dijkstra_relaxations += relaxations;
   return dist_[t] < kInfCost;
 }
 

@@ -60,6 +60,30 @@ class MinCostFlow {
     long long cost = 0;
   };
 
+  /// Work telemetry for one solve(), reset at every solve entry.
+  /// `classes` is not the solver's to know — the planner stamps it
+  /// after copying (see GreenMatchPolicy); everything else is filled
+  /// here. Counting happens in registers inside the Dijkstra loops and
+  /// is folded into this struct once per Dijkstra run, so the overhead
+  /// on BM_GreenMatchPlanDay stays in the noise.
+  struct SolveStats {
+    int nodes = 0;                ///< network nodes
+    std::uint64_t arcs = 0;       ///< externally added arcs
+    std::uint64_t classes = 0;    ///< task classes (planner-stamped)
+    std::uint64_t dijkstra_runs = 0;
+    std::uint64_t dijkstra_pops = 0;         ///< heap/bucket pops
+    std::uint64_t dijkstra_relaxations = 0;  ///< residual arcs scanned
+    std::uint64_t augmenting_paths = 0;
+    bool warm = false;            ///< warm potentials accepted
+    /// Bytes of solver scratch held across solves (the reset() arena):
+    /// adjacency storage, potentials, labels, heap and radix buckets.
+    std::uint64_t arena_bytes = 0;
+  };
+
+  const SolveStats& last_stats() const { return last_stats_; }
+  /// The planner stamps fields the solver cannot know (class count).
+  SolveStats& mutable_last_stats() { return last_stats_; }
+
   /// Sends up to `max_flow` units from s to t at minimum total cost.
   Result solve(NodeIdx s, NodeIdx t, long long max_flow = LLONG_MAX / 4);
 
@@ -106,6 +130,9 @@ class MinCostFlow {
   Result run_ssp(NodeIdx s, NodeIdx t, long long max_flow);
   bool dijkstra_binary(NodeIdx s, NodeIdx t);
   bool dijkstra_radix(NodeIdx s, NodeIdx t);
+  /// Resets last_stats_ and fills the per-solve network/arena fields.
+  void begin_stats(bool warm);
+  std::uint64_t arena_bytes() const;
   /// True iff every residual (capacity > 0) edge has non-negative
   /// reduced cost under `pot`.
   bool potentials_valid(const std::vector<long long>& pot) const;
@@ -117,6 +144,7 @@ class MinCostFlow {
   QueueKind queue_ = QueueKind::kBinaryHeap;
   std::uint64_t warm_accepts_ = 0;
   std::uint64_t warm_rejects_ = 0;
+  SolveStats last_stats_;
 
   // Solver scratch, reused across solve() calls (see reset()).
   std::vector<long long> potential_;

@@ -1,6 +1,8 @@
 #include <algorithm>
+#include <cmath>
 
 #include "core/policies.hpp"
+#include "obs/recorder.hpp"
 #include "util/assert.hpp"
 
 namespace gm::core {
@@ -36,16 +38,36 @@ SlotDecision OpportunisticPolicy::decide(const SlotContext& ctx) {
   double util = ctx.foreground_util;
   int count = 0;
 
+  obs::Recorder* rec = obs::current_recorder();
+  const bool provenance = rec && rec->provenance();
+  const auto emit = [&](const PendingTask& p, bool ran,
+                        const char* reason) {
+    obs::DecisionSample d;
+    d.slot = ctx.slot;
+    d.t = ctx.start;
+    d.policy = name();
+    d.task = p.task.id;
+    d.action = ran ? "run" : "defer";
+    d.reason = reason;
+    if (ran) d.chosen_offset = 0;
+    d.deadline_slack = static_cast<std::int64_t>(std::floor(
+        p.slack(ctx.start) / facts_.slot_length_s));
+    rec->record_decision(d);
+  };
+
   // Mandatory set: urgent tasks and tasks that lost the delay lottery.
   for (const auto& p : ctx.pending) {
     const bool delayed = p.policy_tag == kTagDelayed;
     const bool must = p.urgent(ctx.start, facts_.slot_length_s);
     if (!delayed || must) {
-      if (count >= slot_cap || util + p.task.utilization > util_cap)
+      if (count >= slot_cap || util + p.task.utilization > util_cap) {
+        if (provenance) emit(p, false, "capacity");
         continue;
+      }
       decision.run_tasks.push_back(p.task.id);
       util += p.task.utilization;
       ++count;
+      if (provenance) emit(p, true, must ? "urgent" : "mandatory");
     }
   }
 
@@ -55,12 +77,18 @@ SlotDecision OpportunisticPolicy::decide(const SlotContext& ctx) {
     const bool delayed = p.policy_tag == kTagDelayed;
     const bool must = p.urgent(ctx.start, facts_.slot_length_s);
     if (!delayed || must) continue;
-    if (count >= slot_cap || util + p.task.utilization > util_cap)
+    if (count >= slot_cap || util + p.task.utilization > util_cap) {
+      if (provenance) emit(p, false, "capacity");
       continue;
-    if (power_for(util + p.task.utilization, count + 1) > green_w) continue;
+    }
+    if (power_for(util + p.task.utilization, count + 1) > green_w) {
+      if (provenance) emit(p, false, "awaiting-green");
+      continue;
+    }
     decision.run_tasks.push_back(p.task.id);
     util += p.task.utilization;
     ++count;
+    if (provenance) emit(p, true, "run-on-green");
   }
 
   decision.target_active_nodes = nodes_for_load(util, count);

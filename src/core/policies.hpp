@@ -105,6 +105,24 @@ class GreenMatchPolicy final : public SchedulerPolicy {
   std::uint64_t warm_accepts() const { return flow_.warm_accepts(); }
   std::uint64_t warm_rejects() const { return flow_.warm_rejects(); }
 
+  /// Cumulative solver work across every plan_flow solve of this
+  /// policy's lifetime — the run-level view of
+  /// MinCostFlow::SolveStats (which is per-solve). Fed into the run
+  /// report and metrics registry by the engine at finalize.
+  struct SolverTotals {
+    std::uint64_t solves = 0;
+    std::uint64_t dijkstra_runs = 0;
+    std::uint64_t dijkstra_pops = 0;
+    std::uint64_t dijkstra_relaxations = 0;
+    std::uint64_t augmenting_paths = 0;
+    std::uint64_t arena_bytes_peak = 0;
+  };
+  const SolverTotals& solver_totals() const { return solver_totals_; }
+  /// Per-solve stats of the most recent plan_flow (classes stamped).
+  const MinCostFlow::SolveStats& last_solve_stats() const {
+    return flow_.last_stats();
+  }
+
  private:
   SlotDecision plan_flow(const SlotContext& ctx);
   SlotDecision plan_greedy(const SlotContext& ctx);
@@ -155,6 +173,7 @@ class GreenMatchPolicy final : public SchedulerPolicy {
   double solve_ms_total_ = 0.0;
   std::uint64_t plan_cache_hits_ = 0;
   PlanStats plan_stats_;
+  SolverTotals solver_totals_;
 
   /// The matching network, kept across plan calls as an arena: the
   /// planner rebuilds the edges every solve, but reset() preserves the
@@ -171,6 +190,7 @@ class GreenMatchPolicy final : public SchedulerPolicy {
     std::size_t jmax = 0;
     long long beyond_cap = 0;
     int slot_edge0 = -1;  ///< edge id of class→slot_0 (ids contiguous)
+    int beyond_edge = -1;  ///< edge id of class→beyond (provenance)
     std::vector<std::uint32_t> members;
   };
   std::vector<TaskClass> classes_;     // plan scratch

@@ -58,7 +58,10 @@ std::vector<SweepPoint> run_sweep(const SweepSpec& spec) {
         per_value_path(spec.trace_base, i, point.value);
     obs_config.metrics_path =
         per_value_path(spec.metrics_base, i, point.value);
+    obs_config.chrome_trace_path =
+        per_value_path(spec.chrome_base, i, point.value);
     obs_config.profile = spec.profile;
+    obs_config.provenance = spec.provenance;
     if (obs_config.any_enabled())
       recorder = std::make_shared<obs::Recorder>(obs_config);
 

@@ -29,7 +29,9 @@ struct SweepSpec {
   /// disables the corresponding artifact.
   std::string trace_base;
   std::string metrics_base;
+  std::string chrome_base;  ///< Chrome trace JSON per point
   bool profile = false;
+  bool provenance = false;  ///< per-task decision records per point
   /// Worker threads; 0 = hardware concurrency, 1 = serial.
   std::size_t jobs = 0;
   /// Optional end-of-run hook, called once per point — on the worker

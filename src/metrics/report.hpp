@@ -65,6 +65,21 @@ struct SchedulerReport {
   std::uint64_t nodes_failed = 0;  ///< injected hardware failures
   double mean_active_nodes = 0.0;
   double plan_solve_ms_total = 0.0;  ///< planner CPU time (telemetry)
+
+  // Flow-planner solver telemetry (zero for non-GreenMatch policies).
+  // NOT printed by print_summary — the golden corpus pins its output;
+  // these surface via the metrics registry, bench counters, and the
+  // greenmatch_sim planner stanza (printed only when observability is
+  // on). See docs/observability.md §solver telemetry.
+  std::uint64_t plan_cache_hits = 0;
+  std::uint64_t warm_accepts = 0;
+  std::uint64_t warm_rejects = 0;
+  std::uint64_t solver_solves = 0;
+  std::uint64_t solver_dijkstra_runs = 0;
+  std::uint64_t solver_dijkstra_pops = 0;
+  std::uint64_t solver_relaxations = 0;
+  std::uint64_t solver_augmenting_paths = 0;
+  std::uint64_t solver_arena_bytes_peak = 0;
 };
 
 struct RunResult {

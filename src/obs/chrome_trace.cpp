@@ -1,0 +1,68 @@
+#include "obs/chrome_trace.hpp"
+
+#include <fstream>
+
+#include "obs/trace.hpp"
+#include "util/assert.hpp"
+
+namespace gm::obs {
+
+namespace {
+
+/// JSON number formatting without locale surprises; trace timestamps
+/// are microseconds so three decimals keep nanosecond resolution.
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+void ChromeTraceWriter::add_span(const char* name, double start_us,
+                                 double dur_us) {
+  if (spans_.size() >= kMaxEvents) {
+    ++dropped_;
+    return;
+  }
+  spans_.push_back(Span{name, start_us, dur_us});
+}
+
+void ChromeTraceWriter::add_counter(const std::string& name,
+                                    double sim_time_us, double value) {
+  if (counters_.size() >= kMaxEvents) {
+    ++dropped_;
+    return;
+  }
+  counters_.push_back(Counter{name, sim_time_us, value});
+}
+
+void ChromeTraceWriter::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out)
+    throw RuntimeError("cannot open chrome trace file for writing: " +
+                       path);
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+  const auto sep = [&]() -> std::ostream& {
+    if (!first) out << ",\n";
+    first = false;
+    return out;
+  };
+  // Track names: process metadata events label the two pids in the UI.
+  sep() << R"({"ph":"M","pid":1,"tid":1,"name":"process_name",)"
+           R"("args":{"name":"greenmatch wall-clock"}})";
+  sep() << R"({"ph":"M","pid":2,"tid":1,"name":"process_name",)"
+           R"("args":{"name":"greenmatch sim-time"}})";
+  for (const auto& s : spans_)
+    sep() << R"({"ph":"X","pid":1,"tid":1,"name":")"
+          << json_escape(s.name) << R"(","ts":)" << num(s.start_us)
+          << R"(,"dur":)" << num(s.dur_us) << "}";
+  for (const auto& c : counters_)
+    sep() << R"({"ph":"C","pid":2,"tid":1,"name":")"
+          << json_escape(c.name) << R"(","ts":)" << num(c.t_us)
+          << R"(,"args":{"value":)" << num(c.value) << "}}";
+  out << "\n]}\n";
+}
+
+}  // namespace gm::obs

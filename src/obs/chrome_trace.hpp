@@ -1,0 +1,70 @@
+#pragma once
+// Chrome trace-event exporter: writes the JSON array format that
+// chrome://tracing and https://ui.perfetto.dev load directly, so a
+// simulated run can be inspected on a real timeline instead of in
+// aggregate tables. Two tracks share one file:
+//
+//   pid 1 "greenmatch wall-clock" — "ph":"X" complete events, one per
+//     GM_OBS_SCOPE activation, timestamped in microseconds since the
+//     recorder's construction (its epoch). Nested scopes nest visually
+//     because Perfetto stacks spans by begin/duration on one tid.
+//   pid 2 "greenmatch sim-time"  — "ph":"C" counter events keyed on
+//     simulated seconds (scaled to µs), one sample per slot for the
+//     energy-balance series (green/brown/curtailed kW, battery SoC,
+//     pending depth, active nodes).
+//
+// Unlike the flat JSONL trace (obs/trace.hpp) this format is nested
+// JSON, so it gets its own tiny writer rather than reusing JsonObject.
+// Events are buffered (bounded; see kMaxEvents) and written on
+// finish(), because the trailing `]}` makes streaming append-only
+// output awkward and runs are short.
+//
+// The format reference is the "Trace Event Format" document from the
+// Chromium project; only the subset above is emitted. Load steps are
+// documented in docs/observability.md ("Perfetto workflow").
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gm::obs {
+
+class ChromeTraceWriter {
+ public:
+  /// Buffer cap: spans past this are counted but dropped, so a
+  /// pathological run cannot balloon memory. 1<<20 spans ≈ 100 MB of
+  /// output, far beyond any useful interactive trace.
+  static constexpr std::size_t kMaxEvents = 1 << 20;
+
+  /// A complete ("ph":"X") span on the wall-clock track.
+  void add_span(const char* name, double start_us, double dur_us);
+
+  /// A counter ("ph":"C") sample on the sim-time track. Series with
+  /// the same `name` become one stacked chart in the UI.
+  void add_counter(const std::string& name, double sim_time_us,
+                   double value);
+
+  std::size_t events() const { return spans_.size() + counters_.size(); }
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Writes `{"traceEvents":[...]}` to `path`. Throws gm::RuntimeError
+  /// if the file cannot be opened.
+  void write(const std::string& path) const;
+
+ private:
+  struct Span {
+    const char* name;  ///< GM_OBS_SCOPE literals; never freed
+    double start_us;
+    double dur_us;
+  };
+  struct Counter {
+    std::string name;
+    double t_us;
+    double value;
+  };
+  std::vector<Span> spans_;
+  std::vector<Counter> counters_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace gm::obs

@@ -1,11 +1,63 @@
 #include "obs/profile.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <ostream>
 
 #include "util/table.hpp"
 
 namespace gm::obs {
+
+std::size_t LogHistogram::bucket_of(std::uint64_t v) {
+  // Bucket index = exponent * 4 + top-2 mantissa bits. Values below
+  // 2^kMantissaBits lack that many mantissa bits and map directly.
+  if (v < (1ULL << kMantissaBits)) return static_cast<std::size_t>(v);
+  int exp = 63;
+  while (!(v >> exp)) --exp;  // position of the leading one bit
+  const std::uint64_t mantissa =
+      (v >> (exp - kMantissaBits)) & ((1ULL << kMantissaBits) - 1);
+  return static_cast<std::size_t>(exp << kMantissaBits) +
+         static_cast<std::size_t>(mantissa);
+}
+
+std::uint64_t LogHistogram::bucket_lo(std::size_t i) {
+  const std::size_t exp = i >> kMantissaBits;
+  const std::uint64_t mantissa = i & ((1ULL << kMantissaBits) - 1);
+  if (exp < kMantissaBits) return i;  // the direct-mapped low range
+  return (1ULL << exp) +
+         (mantissa << (exp - kMantissaBits));
+}
+
+void LogHistogram::add(double value) {
+  const std::uint64_t v =
+      value <= 0.0 ? 0 : static_cast<std::uint64_t>(value);
+  ++counts_[bucket_of(v)];
+  ++total_;
+}
+
+double LogHistogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the q-th sample (1-based, ceil), then walk buckets.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(total_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (counts_[i] == 0) continue;
+    if (seen + counts_[i] >= rank) {
+      // Interpolate position-in-bucket linearly over [lo, hi).
+      const double lo = static_cast<double>(bucket_lo(i));
+      const double hi = static_cast<double>(
+          i + 1 < kBuckets ? bucket_lo(i + 1) : bucket_lo(i) * 2);
+      const double frac = static_cast<double>(rank - seen) /
+                          static_cast<double>(counts_[i]);
+      return lo + (hi - lo) * frac;
+    }
+    seen += counts_[i];
+  }
+  return static_cast<double>(bucket_lo(kBuckets - 1));
+}
 
 void PhaseProfiler::record(std::string_view phase, double duration_ns) {
   // Heterogeneous find: the common (phase already seen) case touches
@@ -17,6 +69,7 @@ void PhaseProfiler::record(std::string_view phase, double duration_ns) {
   ++s.calls;
   s.total_ns += duration_ns;
   s.max_ns = std::max(s.max_ns, duration_ns);
+  s.latency_ns.add(duration_ns);
 }
 
 std::vector<std::pair<std::string, PhaseStats>>
@@ -32,11 +85,15 @@ PhaseProfiler::sorted_by_total() const {
 }
 
 void PhaseProfiler::print_table(std::ostream& out) const {
-  TextTable table({"phase", "calls", "total ms", "mean us", "max us"});
+  TextTable table({"phase", "calls", "total ms", "mean us", "p50 us",
+                   "p95 us", "p99 us", "max us"});
   for (const auto& [name, s] : sorted_by_total())
     table.add_row({name, std::to_string(s.calls),
                    TextTable::num(s.total_ms(), 3),
                    TextTable::num(s.mean_us(), 1),
+                   TextTable::num(s.p50_us(), 1),
+                   TextTable::num(s.p95_us(), 1),
+                   TextTable::num(s.p99_us(), 1),
                    TextTable::num(s.max_ns / 1e3, 1)});
   table.print(out);
 }

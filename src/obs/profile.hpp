@@ -2,13 +2,16 @@
 // Per-phase wall-clock profiling. Hot paths mark themselves with
 // GM_OBS_SCOPE("policy.decide") (see obs/recorder.hpp for the macro);
 // each scope's duration is aggregated here into call count / total /
-// max per phase name, and the run ends with one profile table.
+// max per phase name plus a log-bucketed latency histogram, and the
+// run ends with one profile table carrying p50/p95/p99 columns.
 //
 // Phase names are expected to be string literals; each name is stored
 // by value only once, on first sight. Lookups are heterogeneous
 // (transparent comparator, string_view key), so the steady-state
 // record() hit never constructs a std::string.
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -18,14 +21,51 @@
 
 namespace gm::obs {
 
+/// Log-bucketed latency histogram: bucket = (exponent, 2 mantissa
+/// bits), i.e. four sub-buckets per power of two, so any quantile is
+/// resolved to within ~12% of the true value across the full uint64
+/// range with one fixed 256-entry array and no per-sample allocation.
+/// Values are non-negative (nanoseconds in the profiler's use);
+/// negatives clamp to zero.
+class LogHistogram {
+ public:
+  void add(double value);
+  std::uint64_t count() const { return total_; }
+  /// Quantile estimate, q in [0, 1]; 0 when empty. Interpolates
+  /// linearly inside the landing bucket.
+  double quantile(double q) const;
+
+ private:
+  static constexpr int kMantissaBits = 2;
+  static constexpr std::size_t kBuckets = 64 << kMantissaBits;
+  static std::size_t bucket_of(std::uint64_t v);
+  /// [lo, hi) value range covered by bucket i.
+  static std::uint64_t bucket_lo(std::size_t i);
+
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+};
+
 struct PhaseStats {
   std::uint64_t calls = 0;
   double total_ns = 0.0;
   double max_ns = 0.0;
+  LogHistogram latency_ns;  ///< per-call durations, for percentiles
 
   double total_ms() const { return total_ns / 1e6; }
   double mean_us() const {
     return calls ? total_ns / 1e3 / static_cast<double>(calls) : 0.0;
+  }
+  // The log-bucket estimate can overshoot the true extremum by up to
+  // one bucket width; clamping to the tracked max keeps p99 <= max in
+  // every report.
+  double p50_us() const { return quantile_us(0.50); }
+  double p95_us() const { return quantile_us(0.95); }
+  double p99_us() const { return quantile_us(0.99); }
+
+ private:
+  double quantile_us(double q) const {
+    return std::min(latency_ns.quantile(q), max_ns) / 1e3;
   }
 };
 
@@ -42,7 +82,8 @@ class PhaseProfiler {
   std::vector<std::pair<std::string, PhaseStats>> sorted_by_total()
       const;
 
-  /// Aligned table: phase | calls | total ms | mean us | max us.
+  /// Aligned table: phase | calls | total ms | mean us | p50 | p95 |
+  /// p99 | max us.
   void print_table(std::ostream& out) const;
 
  private:

@@ -44,11 +44,15 @@ bool ends_with(const std::string& s, const std::string& suffix) {
 
 }  // namespace
 
-Recorder::Recorder(RecorderConfig config) : config_(std::move(config)) {
+Recorder::Recorder(RecorderConfig config)
+    : config_(std::move(config)),
+      epoch_(std::chrono::steady_clock::now()) {
   if (config_.manifest_path.empty())
     config_.manifest_path = derive_manifest_path(config_);
   if (!config_.trace_path.empty())
     trace_ = std::make_unique<TraceWriter>(config_.trace_path);
+  if (!config_.chrome_trace_path.empty())
+    chrome_ = std::make_unique<ChromeTraceWriter>();
 }
 
 Recorder::~Recorder() {
@@ -87,6 +91,22 @@ void Recorder::record_slot(const SlotSample& s) {
   metrics_.observe("slot.tasks_running",
                    static_cast<double>(s.tasks_running));
   metrics_.gauge_set("slot.battery_soc_kwh", j_to_kwh(s.battery_soc_j));
+  if (chrome_) {
+    // Sim-time counter track: x axis is simulated seconds rendered as
+    // trace microseconds, so a week-long run spans 604.8 "seconds" of
+    // timeline — compact enough to scrub in one Perfetto view.
+    const double t_us = s.start_s;  // 1 sim s -> 1 trace us
+    chrome_->add_counter("green_supply_kwh", t_us,
+                         j_to_kwh(s.green_supply_j));
+    chrome_->add_counter("brown_kwh", t_us, j_to_kwh(s.brown_j));
+    chrome_->add_counter("curtailed_kwh", t_us, j_to_kwh(s.curtailed_j));
+    chrome_->add_counter("battery_soc_kwh", t_us,
+                         j_to_kwh(s.battery_soc_j));
+    chrome_->add_counter("pending_depth", t_us,
+                         static_cast<double>(s.pending_depth));
+    chrome_->add_counter("active_nodes", t_us,
+                         static_cast<double>(s.active_nodes));
+  }
   if (!trace_) return;
 
   JsonObject record;
@@ -111,6 +131,44 @@ void Recorder::record_slot(const SlotSample& s) {
       .set("forced_wakeups", s.forced_wakeups)
       .set("node_failures", s.node_failures);
   trace_->emit(record);
+}
+
+void Recorder::record_decision(const DecisionSample& s) {
+  metrics_.counter_add("decisions." + s.action);
+  if (!trace_) return;
+  JsonObject record;
+  record.set("kind", "decision")
+      .set("slot", s.slot)
+      .set("t", s.t)
+      .set("policy", s.policy)
+      .set("task", s.task)
+      .set("action", s.action)
+      .set("reason", s.reason)
+      .set("deadline_slack", s.deadline_slack);
+  if (s.chosen_offset >= 0) record.set("chosen_offset", s.chosen_offset);
+  if (s.class_id >= 0) {
+    record.set("class_id", s.class_id)
+        .set("class_size", s.class_size)
+        .set("demux_rank", s.demux_rank);
+  }
+  if (s.green_cost >= 0.0) record.set("green_cost", s.green_cost);
+  if (s.brown_cost >= 0.0) record.set("brown_cost", s.brown_cost);
+  if (s.slot_green_flow >= 0.0)
+    record.set("slot_green_flow", s.slot_green_flow);
+  record.set("warm_solve", s.warm_solve);
+  trace_->emit(record);
+}
+
+void Recorder::observe_plan_latency(double ms) {
+  metrics_.observe("slot.plan_ms", ms);
+  plan_latency_us_.add(ms * 1e3);
+}
+
+void Recorder::record_scope(const char* name,
+                            std::chrono::steady_clock::time_point start,
+                            std::chrono::steady_clock::time_point end) {
+  chrome_->add_span(name, wall_us(start),
+                    wall_us(end) - wall_us(start));
 }
 
 void Recorder::record_audit(const AuditSample& s) {
@@ -153,7 +211,8 @@ void Recorder::write_manifest(const ManifestInfo& info) {
       << "},\n";
   out << "  \"artifacts\": {\"trace\": \""
       << json_escape(config_.trace_path) << "\", \"metrics\": \""
-      << json_escape(config_.metrics_path) << "\"},\n";
+      << json_escape(config_.metrics_path) << "\", \"chrome_trace\": \""
+      << json_escape(config_.chrome_trace_path) << "\"},\n";
   out << "  \"config\": {";
   bool first = true;
   for (const auto& [key, value] : info.config_echo) {
@@ -169,8 +228,20 @@ void Recorder::finish() {
   if (finished_) return;
   finished_ = true;
 
-  for (const auto& [name, stats] : profiler_.phases())
+  for (const auto& [name, stats] : profiler_.phases()) {
     metrics_.observe("phase_ms." + name, stats.total_ms());
+    metrics_.gauge_set("phase_p50_us." + name, stats.p50_us());
+    metrics_.gauge_set("phase_p95_us." + name, stats.p95_us());
+    metrics_.gauge_set("phase_p99_us." + name, stats.p99_us());
+  }
+  if (plan_latency_us_.count() > 0) {
+    metrics_.gauge_set("plan.slot_ms_p50",
+                       plan_latency_us_.quantile(0.50) / 1e3);
+    metrics_.gauge_set("plan.slot_ms_p95",
+                       plan_latency_us_.quantile(0.95) / 1e3);
+    metrics_.gauge_set("plan.slot_ms_p99",
+                       plan_latency_us_.quantile(0.99) / 1e3);
+  }
   if (trace_) {
     for (const auto& [name, stats] : profiler_.sorted_by_total()) {
       JsonObject record;
@@ -179,6 +250,9 @@ void Recorder::finish() {
           .set("calls", stats.calls)
           .set("total_ms", stats.total_ms())
           .set("mean_us", stats.mean_us())
+          .set("p50_us", stats.p50_us())
+          .set("p95_us", stats.p95_us())
+          .set("p99_us", stats.p99_us())
           .set("max_us", stats.max_ns / 1e3);
       trace_->emit(record);
     }
@@ -188,6 +262,13 @@ void Recorder::finish() {
         .set("slots", metrics_.counter("slots_total"));
     trace_->emit(end);
     trace_->flush();
+  }
+
+  if (chrome_) {
+    if (chrome_->dropped() > 0)
+      GM_LOG_WARN("chrome trace buffer full: "
+                  << chrome_->dropped() << " events dropped");
+    chrome_->write(config_.chrome_trace_path);
   }
 
   if (!config_.metrics_path.empty()) {

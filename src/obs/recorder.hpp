@@ -36,6 +36,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/chrome_trace.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
@@ -50,12 +51,21 @@ struct RecorderConfig {
   std::string metrics_path;
   /// Run manifest; empty derives `<trace-or-metrics stem>.manifest.json`.
   std::string manifest_path;
+  /// Chrome trace-event JSON (Perfetto-loadable) written at finish();
+  /// empty disables. Implies deep scope tracing: every GM_OBS_SCOPE
+  /// activation becomes a timeline span, not just a profile aggregate.
+  std::string chrome_trace_path;
   /// Enables GM_OBS_SCOPE phase timing.
   bool profile = false;
+  /// Enables per-task decision provenance records (kind=decision in
+  /// the JSONL trace plus decisions.* counters). Opt-in because a
+  /// massive-fleet week emits one record per task-slot decision.
+  bool provenance = false;
 
   bool any_enabled() const {
     return !trace_path.empty() || !metrics_path.empty() ||
-           !manifest_path.empty() || profile;
+           !manifest_path.empty() || !chrome_trace_path.empty() ||
+           profile || provenance;
   }
 };
 
@@ -83,6 +93,35 @@ struct SlotSample {
   // Per-slot deltas of event counters.
   std::int64_t forced_wakeups = 0;
   std::int64_t node_failures = 0;
+};
+
+/// One per-task scheduling decision, emitted at plan time by the
+/// policies when provenance is enabled. Answers "why did task X
+/// run/wait at slot S" — see tools/gm_explain and
+/// docs/observability.md for the consumer side. Fields that a given
+/// policy cannot attribute (e.g. class ids outside the flow planner)
+/// stay at their defaults and are omitted from the trace record.
+struct DecisionSample {
+  std::int64_t slot = 0;       ///< slot at which the plan was made
+  double t = 0.0;              ///< sim time of the decision (s)
+  std::string policy;          ///< planner that decided
+  std::uint64_t task = 0;      ///< task id
+  /// One of: "run", "defer", "beyond", "drop".
+  std::string action;
+  /// Short machine-greppable cause, e.g. "green-at-offset",
+  /// "capacity-or-cost", "deferred-beyond-horizon", "mandatory",
+  /// "awaiting-green", "no-feasible-slot".
+  std::string reason;
+  std::int64_t chosen_offset = -1;  ///< slot offset assigned (-1: none)
+  std::int64_t deadline_slack = 0;  ///< slots of slack at decision time
+  // Flow-planner attribution (left default by greedy policies).
+  std::int64_t class_id = -1;   ///< class node id in the flow network
+  std::int64_t class_size = 0;  ///< member tasks aggregated in it
+  std::int64_t demux_rank = -1; ///< task's rank in the class demux
+  double green_cost = -1.0;     ///< marginal cost via the green arc
+  double brown_cost = -1.0;     ///< marginal cost via the brown arc
+  double slot_green_flow = -1.0;  ///< green units routed to the slot
+  bool warm_solve = false;      ///< potentials warm-started this plan
 };
 
 /// One gm::audit check outcome, in the flat shape the trace/metrics
@@ -117,6 +156,10 @@ class Recorder {
 
   bool tracing() const { return trace_ != nullptr; }
   bool profiling() const { return config_.profile; }
+  bool provenance() const { return config_.provenance; }
+  /// Deep scope tracing: every GM_OBS_SCOPE becomes a Chrome trace
+  /// span (in addition to the profile aggregate when profiling).
+  bool deep_tracing() const { return chrome_ != nullptr; }
 
   /// Fluent one-line event: emits on destruction of the builder.
   ///   recorder.event("task_admit", now).set("task", id);
@@ -151,6 +194,17 @@ class Recorder {
   /// slot-level series.
   void record_slot(const SlotSample& sample);
 
+  /// Appends one `kind=decision` record to the trace (when tracing)
+  /// and bumps `decisions.<action>` counters. Call only when
+  /// provenance() — the policies gate on it so a disabled run does no
+  /// string work at all.
+  void record_decision(const DecisionSample& sample);
+
+  /// Per-slot plan latency (wall ms): feeds the `slot.plan_ms`
+  /// accumulator and the log histogram behind the exported
+  /// plan.slot_ms_p50/_p95/_p99 gauges.
+  void observe_plan_latency(double ms);
+
   /// Appends one `kind=audit` record to the trace (when tracing) and
   /// counts it into the registry (`audit.checks` / `audit.failures`),
   /// so a traced `--audit` run carries its own conservation verdicts.
@@ -160,6 +214,25 @@ class Recorder {
   const MetricsRegistry& metrics() const { return metrics_; }
   PhaseProfiler& profiler() { return profiler_; }
   const PhaseProfiler& profiler() const { return profiler_; }
+  /// Null unless chrome_trace_path was configured.
+  ChromeTraceWriter* chrome() { return chrome_.get(); }
+
+  /// Called by ~PhaseTimer when deep_tracing(): records one timeline
+  /// span on the wall-clock track, timestamped against the recorder's
+  /// construction epoch.
+  void record_scope(const char* name,
+                    std::chrono::steady_clock::time_point start,
+                    std::chrono::steady_clock::time_point end);
+
+  /// Microseconds elapsed since the recorder was constructed; the
+  /// timestamp base of all Chrome-trace wall-clock spans.
+  double wall_us(std::chrono::steady_clock::time_point t) const {
+    return static_cast<double>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   t - epoch_)
+                   .count()) /
+           1e3;
+  }
 
   /// Writes the manifest file (call once, at engine construction, so
   /// even an aborted run leaves its reproduction recipe on disk).
@@ -178,8 +251,11 @@ class Recorder {
  private:
   RecorderConfig config_;
   std::unique_ptr<TraceWriter> trace_;
+  std::unique_ptr<ChromeTraceWriter> chrome_;
   MetricsRegistry metrics_;
   PhaseProfiler profiler_;
+  LogHistogram plan_latency_us_;
+  std::chrono::steady_clock::time_point epoch_;
   bool finished_ = false;
 };
 
@@ -211,24 +287,30 @@ class ScopedRecorder {
 };
 
 /// RAII phase timer behind GM_OBS_SCOPE. Inert (two loads, one
-/// branch) unless a profiling recorder is installed on this thread.
+/// branch) unless a recorder with profiling or deep (Chrome trace)
+/// scope tracing is installed on this thread.
 class PhaseTimer {
  public:
   explicit PhaseTimer(const char* name) {
     Recorder* r = current_recorder();
-    if (r && r->profiling()) {
+    if (r && (r->profiling() || r->deep_tracing())) {
       recorder_ = r;
       name_ = name;
       start_ = std::chrono::steady_clock::now();
     }
   }
   ~PhaseTimer() {
-    if (recorder_)
+    if (!recorder_) return;
+    const auto end = std::chrono::steady_clock::now();
+    if (recorder_->profiling())
       recorder_->profiler().record(
-          name_, static_cast<double>(
-                     std::chrono::duration_cast<std::chrono::nanoseconds>(
-                         std::chrono::steady_clock::now() - start_)
-                         .count()));
+          name_,
+          static_cast<double>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  end - start_)
+                  .count()));
+    if (recorder_->deep_tracing())
+      recorder_->record_scope(name_, start_, end);
   }
   PhaseTimer(const PhaseTimer&) = delete;
   PhaseTimer& operator=(const PhaseTimer&) = delete;

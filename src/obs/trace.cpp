@@ -1,6 +1,7 @@
 #include "obs/trace.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <limits>
 #include <sstream>
@@ -50,6 +51,14 @@ JsonObject& JsonObject::set(const std::string& k, const std::string& v) {
 
 JsonObject& JsonObject::set(const std::string& k, double v) {
   key(k);
+  // JSON has no NaN/Infinity literal; emit null so strict loaders
+  // (json.load, DuckDB) accept the line and record_num falls back.
+  // Benchmark aggregates hit this: the cv of an all-zero counter is
+  // 0/0.
+  if (!std::isfinite(v)) {
+    body_ += "null";
+    return *this;
+  }
   std::ostringstream os;
   os.precision(std::numeric_limits<double>::max_digits10);
   os << v;

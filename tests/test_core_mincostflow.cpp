@@ -331,6 +331,50 @@ TEST_P(WarmStart, RadixQueueMatchesBinaryHeap) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WarmStart, ::testing::Range(1, 26));
 
+TEST(MinCostFlow, SolveStatsCountWork) {
+  MinCostFlow f(4);
+  f.add_edge(0, 1, 1, 0);
+  f.add_edge(1, 3, 1, 0);
+  f.add_edge(0, 2, 10, 5);
+  f.add_edge(2, 3, 10, 5);
+  const auto r = f.solve(0, 3, 3);
+  EXPECT_EQ(r.flow, 3);
+  const auto& st = f.last_stats();
+  EXPECT_EQ(st.nodes, 4);
+  EXPECT_EQ(st.arcs, 4u);
+  EXPECT_FALSE(st.warm);
+  // Every augmenting path is found by one Dijkstra; the final run
+  // discovers there is no more flow to send.
+  EXPECT_GT(st.augmenting_paths, 0u);
+  EXPECT_GE(st.dijkstra_runs, st.augmenting_paths);
+  EXPECT_GT(st.dijkstra_pops, 0u);
+  EXPECT_GT(st.dijkstra_relaxations, 0u);
+  EXPECT_GT(st.arena_bytes, 0u);
+  // `classes` belongs to the planner, never the solver.
+  EXPECT_EQ(st.classes, 0u);
+}
+
+TEST(MinCostFlow, SolveStatsResetPerSolveAndMarkWarm) {
+  MinCostFlow f(2);
+  f.add_edge(0, 1, 5, 3);
+  f.solve(0, 1);
+  const auto cold_runs = f.last_stats().dijkstra_runs;
+  EXPECT_GT(cold_runs, 0u);
+  EXPECT_FALSE(f.last_stats().warm);
+
+  // Re-solving the identical network with the final potentials as the
+  // warm seed must be accepted and tagged as warm, with the counters
+  // describing only the new solve.
+  const auto seed = f.potentials();
+  f.reset(2);
+  f.add_edge(0, 1, 5, 3);
+  const auto warm = f.solve(0, 1, LLONG_MAX / 4, seed);
+  EXPECT_EQ(warm.flow, 5);
+  EXPECT_TRUE(f.last_stats().warm);
+  EXPECT_LE(f.last_stats().dijkstra_runs, cold_runs);
+  EXPECT_EQ(f.last_stats().arcs, 1u);
+}
+
 TEST(MinCostFlowRadix, MatchesBruteForceAssignment) {
   for (int seed = 1; seed <= 20; ++seed) {
     Rng rng(static_cast<std::uint64_t>(seed));

@@ -12,6 +12,7 @@
 #include "core/config_io.hpp"
 #include "core/engine.hpp"
 #include "obs/metrics_registry.hpp"
+#include "obs/profile.hpp"
 #include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "util/units.hpp"
@@ -95,6 +96,105 @@ TEST(MetricsRegistry, PrometheusNamesSanitized) {
   // Raw dotted/dashed names never leak into the exposition.
   EXPECT_EQ(prom.find("task-admit"), std::string::npos);
   EXPECT_EQ(prom.find("slot.brown"), std::string::npos);
+}
+
+TEST(MetricsRegistry, PrometheusEmptyHistogram) {
+  // A registered-but-never-fed histogram must still export a complete,
+  // scrape-valid series: every bucket at 0, _count 0, _sum 0.
+  MetricsRegistry m;
+  m.histogram("idle", 0.0, 10.0, 5);
+  std::ostringstream out;
+  m.write_prometheus(out);
+  const std::string prom = out.str();
+  EXPECT_NE(prom.find("# TYPE gm_idle histogram"), std::string::npos);
+  EXPECT_NE(prom.find("gm_idle_bucket{le=\"2\"} 0"), std::string::npos);
+  EXPECT_NE(prom.find("gm_idle_bucket{le=\"+Inf\"} 0"),
+            std::string::npos);
+  EXPECT_NE(prom.find("gm_idle_count 0"), std::string::npos);
+  EXPECT_NE(prom.find("gm_idle_sum 0"), std::string::npos);
+}
+
+TEST(MetricsRegistry, PrometheusSingleBinHistogram) {
+  // Degenerate layout: one bin spanning [lo, hi). The le boundary of
+  // that bin must equal hi, and the cumulative +Inf series must agree
+  // with it for in-range samples.
+  MetricsRegistry m;
+  sim::Histogram& h = m.histogram("one", 0.0, 10.0, 1);
+  h.add(2.0);
+  h.add(7.0);
+  std::ostringstream out;
+  m.write_prometheus(out);
+  const std::string prom = out.str();
+  EXPECT_NE(prom.find("gm_one_bucket{le=\"10\"} 2"), std::string::npos);
+  EXPECT_NE(prom.find("gm_one_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("gm_one_count 2"), std::string::npos);
+  // _sum is the bin-midpoint approximation: both samples count as 5.
+  EXPECT_NE(prom.find("gm_one_sum 10"), std::string::npos);
+}
+
+TEST(MetricsRegistry, PrometheusSumApproximatesWithBinMidpoints) {
+  // The histogram stores only counts, so _sum is reconstructed as
+  // Σ bin_mid·count, with underflow valued at lo and overflow at hi.
+  MetricsRegistry m;
+  sim::Histogram& h = m.histogram("lat", 10.0, 30.0, 2);
+  h.add(0.0);    // underflow -> valued at lo = 10
+  h.add(15.0);   // bin [10,20) -> mid 15
+  h.add(25.0);   // bin [20,30) -> mid 25
+  h.add(100.0);  // overflow -> valued at hi = 30
+  std::ostringstream out;
+  m.write_prometheus(out);
+  const std::string prom = out.str();
+  // Cumulative buckets include the underflow; +Inf includes everything.
+  EXPECT_NE(prom.find("gm_lat_bucket{le=\"20\"} 2"), std::string::npos);
+  EXPECT_NE(prom.find("gm_lat_bucket{le=\"30\"} 3"), std::string::npos);
+  EXPECT_NE(prom.find("gm_lat_bucket{le=\"+Inf\"} 4"),
+            std::string::npos);
+  EXPECT_NE(prom.find("gm_lat_count 4"), std::string::npos);
+  EXPECT_NE(prom.find("gm_lat_sum 80"), std::string::npos);
+}
+
+// --- log-bucketed latency histogram -------------------------------------
+
+TEST(LogHistogram, EmptyReportsZero) {
+  const LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);
+}
+
+TEST(LogHistogram, SingleValueLandsInItsBucket) {
+  LogHistogram h;
+  h.add(1000.0);
+  EXPECT_EQ(h.count(), 1u);
+  // 1000 falls in the [896, 1024) log bucket (exp 9, mantissa 3); any
+  // quantile must resolve inside it.
+  for (double q : {0.0, 0.5, 0.95, 1.0}) {
+    EXPECT_GE(h.quantile(q), 896.0) << q;
+    EXPECT_LE(h.quantile(q), 1024.0) << q;
+  }
+}
+
+TEST(LogHistogram, QuantilesTrackAUniformRampWithinBucketError) {
+  LogHistogram h;
+  for (int v = 1; v <= 1000; ++v) h.add(static_cast<double>(v));
+  EXPECT_EQ(h.count(), 1000u);
+  // Buckets are powers of two split in four: worst-case quantile error
+  // is one quarter-octave (~12.5%), plus interpolation slack.
+  EXPECT_NEAR(h.quantile(0.50), 500.0, 500.0 * 0.15);
+  EXPECT_NEAR(h.quantile(0.95), 950.0, 950.0 * 0.15);
+  EXPECT_NEAR(h.quantile(0.99), 990.0, 990.0 * 0.15);
+  EXPECT_LE(h.quantile(0.50), h.quantile(0.95));
+  EXPECT_LE(h.quantile(0.95), h.quantile(0.99));
+}
+
+TEST(LogHistogram, NegativeValuesClampToZero) {
+  LogHistogram h;
+  h.add(-5.0);
+  h.add(-1e18);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GE(h.quantile(1.0), 0.0);
+  EXPECT_LE(h.quantile(1.0), 1.0);
 }
 
 // --- flat JSON ---------------------------------------------------------
@@ -227,15 +327,108 @@ TEST(ObsEndToEnd, ManifestEchoesSeedsAndConfig) {
   std::remove(manifest_path.c_str());
 }
 
+TEST(ObsEndToEnd, ProvenanceExplainsEveryPendingTask) {
+  const std::string trace_path =
+      testing::TempDir() + "gm_obs_provenance.jsonl";
+  RecorderConfig rc;
+  rc.trace_path = trace_path;
+  rc.provenance = true;
+  auto recorder = std::make_shared<Recorder>(rc);
+  const auto artifacts =
+      core::run_experiment(short_config(), recorder);
+  recorder->finish();
+
+  std::uint64_t decisions = 0;
+  std::uint64_t with_offset = 0;
+  for (const auto& r : read_trace(trace_path)) {
+    if (record_str(r, "kind") != "decision") continue;
+    ++decisions;
+    // Schema: every decision carries the identifying triple plus an
+    // action/reason pair from the documented vocabulary.
+    EXPECT_TRUE(r.count("slot") && r.count("task") && r.count("policy"))
+        << "decision record missing identity fields";
+    const std::string action = record_str(r, "action");
+    EXPECT_TRUE(action == "run" || action == "defer" ||
+                action == "beyond" || action == "drop")
+        << action;
+    EXPECT_FALSE(record_str(r, "reason").empty());
+    if (r.count("chosen_offset")) {
+      ++with_offset;
+      EXPECT_GE(record_num(r, "chosen_offset"), 0.0);
+      // Planned assignments expose the class aggregation they rode in
+      // on and the marginal green-vs-brown path costs.
+      EXPECT_GE(record_num(r, "class_size"), 1.0);
+      EXPECT_GE(record_num(r, "demux_rank"), 0.0);
+      EXPECT_GE(record_num(r, "brown_cost", -1.0),
+                record_num(r, "green_cost", -1.0));
+    }
+  }
+  EXPECT_GT(decisions, 0u);
+  EXPECT_GT(with_offset, 0u);
+  // Per-action counters land in the registry alongside the trace.
+  std::uint64_t counted = 0;
+  for (const char* a : {"run", "defer", "beyond", "drop"})
+    counted += recorder->metrics().counter(std::string("decisions.") + a);
+  EXPECT_EQ(counted, decisions);
+  EXPECT_GT(artifacts.result.qos.tasks_completed, 0u);
+
+  std::remove(trace_path.c_str());
+}
+
+TEST(ObsEndToEnd, ChromeTraceIsWellFormed) {
+  const std::string trace_path =
+      testing::TempDir() + "gm_obs_chrome.jsonl";
+  const std::string chrome_path =
+      testing::TempDir() + "gm_obs_chrome.trace.json";
+  RecorderConfig rc;
+  rc.trace_path = trace_path;
+  rc.chrome_trace_path = chrome_path;
+  auto recorder = std::make_shared<Recorder>(rc);
+  core::run_experiment(short_config(), recorder);
+  recorder->finish();
+
+  std::ifstream in(chrome_path);
+  ASSERT_TRUE(in.is_open()) << chrome_path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  // Trace-event envelope with the two pid lanes and both event types
+  // (spans from GM_OBS_SCOPE, counters from slot records). Deep
+  // validation lives in tools/check_chrome_trace.py; this guards the
+  // envelope so the CI checker can always at least load the file.
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("greenmatch wall-clock"), std::string::npos);
+  EXPECT_NE(json.find("greenmatch sim-time"), std::string::npos);
+  EXPECT_NE(json.find("green_supply_kwh"), std::string::npos);
+  EXPECT_EQ(json.substr(json.size() - 4), "\n]}\n");
+  EXPECT_EQ(recorder->chrome()->dropped(), 0u);
+
+  std::remove(trace_path.c_str());
+  std::remove(chrome_path.c_str());
+}
+
 TEST(ObsEndToEnd, RecorderDoesNotPerturbTheRun) {
   const auto config = short_config();
   const auto plain = core::run_experiment(config).result;
 
+  // Every observability feature at once — trace, profile, metrics,
+  // decision provenance, deep Chrome tracing — must still be read-only
+  // with respect to the simulation.
   const std::string trace_path =
       testing::TempDir() + "gm_obs_perturb.jsonl";
+  const std::string chrome_path =
+      testing::TempDir() + "gm_obs_perturb.trace.json";
+  const std::string metrics_path =
+      testing::TempDir() + "gm_obs_perturb.metrics.csv";
   RecorderConfig rc;
   rc.trace_path = trace_path;
   rc.profile = true;
+  rc.provenance = true;
+  rc.chrome_trace_path = chrome_path;
+  rc.metrics_path = metrics_path;
   auto recorder = std::make_shared<Recorder>(rc);
   const auto traced = core::run_experiment(config, recorder).result;
   recorder->finish();
@@ -256,6 +449,8 @@ TEST(ObsEndToEnd, RecorderDoesNotPerturbTheRun) {
             traced.battery.equivalent_cycles);
 
   std::remove(trace_path.c_str());
+  std::remove(chrome_path.c_str());
+  std::remove(metrics_path.c_str());
 }
 
 TEST(ObsEndToEnd, DisabledScopesAreInertOutsideARun) {

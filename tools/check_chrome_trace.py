@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file emitted by the GreenMatch
+recorder (--chrome-trace=FILE).
+
+Stdlib only — CI loads the trace exactly the way Perfetto's legacy
+JSON importer does (one json.load) and checks the subset of the Trace
+Event Format the simulator emits:
+
+  * top level: an object with a "traceEvents" list
+  * every event: an object with "ph" in {"X", "C", "M"} and int pids
+  * "X" (complete) events: name, ts, dur >= 0
+  * "C" (counter) events: name, ts, args object with numeric values
+  * "M" (metadata) events: name + args
+
+Usage: check_chrome_trace.py <trace.json> [--min-events=N]
+Exit codes: 0 valid, 1 invalid, 2 usage/IO error.
+"""
+
+import json
+import sys
+
+REQUIRED_PH = {"X", "C", "M"}
+
+
+def fail(msg: str) -> None:
+    print(f"check_chrome_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv: list) -> None:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    path = argv[1]
+    min_events = 1
+    for arg in argv[2:]:
+        if arg.startswith("--min-events="):
+            min_events = int(arg.split("=", 1)[1])
+        else:
+            print(f"unexpected argument: {arg}", file=sys.stderr)
+            sys.exit(2)
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        fail(f"cannot load {path}: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with a 'traceEvents' key")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("'traceEvents' must be a list")
+
+    counts = {"X": 0, "C": 0, "M": 0}
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            fail(f"{where}: event is not an object")
+        ph = ev.get("ph")
+        if ph not in REQUIRED_PH:
+            fail(f"{where}: ph={ph!r} not in {sorted(REQUIRED_PH)}")
+        if not isinstance(ev.get("pid"), int):
+            fail(f"{where}: pid missing or not an int")
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            fail(f"{where}: name missing or empty")
+        if ph == "X":
+            for key in ("ts", "dur"):
+                if not isinstance(ev.get(key), (int, float)):
+                    fail(f"{where}: {key} missing or not numeric")
+            if ev["dur"] < 0:
+                fail(f"{where}: negative dur {ev['dur']}")
+        elif ph == "C":
+            if not isinstance(ev.get("ts"), (int, float)):
+                fail(f"{where}: ts missing or not numeric")
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                fail(f"{where}: counter args missing or empty")
+            for k, v in args.items():
+                if not isinstance(v, (int, float)):
+                    fail(f"{where}: args[{k!r}] not numeric")
+        else:  # "M"
+            if not isinstance(ev.get("args"), dict):
+                fail(f"{where}: metadata args missing")
+        counts[ph] += 1
+
+    total = sum(counts.values())
+    if total < min_events:
+        fail(f"only {total} events, expected at least {min_events}")
+    print(
+        f"check_chrome_trace: OK: {total} events "
+        f"({counts['X']} spans, {counts['C']} counters, "
+        f"{counts['M']} metadata)"
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -1,0 +1,212 @@
+// gm_explain — answer "why was task X deferred at slot S" from a
+// provenance trace (a JSONL trace produced with --provenance).
+//
+//   gm_explain <trace.jsonl> --task=ID [--slot=S]
+//   gm_explain <trace.jsonl> --slot=S --deferred
+//
+// The first form narrates every decision the planner made about one
+// task (optionally restricted to one slot): action, cause, chosen
+// slot offset, the class it was aggregated into, its demux rank, and
+// the marginal green-vs-brown cost of the assigning path. The second
+// form lists every task deferred (or pushed beyond the horizon) at a
+// slot — the "who is waiting and why" view.
+//
+// Exit codes: 0 decisions found and printed, 2 usage error, 3 the
+// trace has no matching decision records (with a hint if the trace
+// carries no provenance at all).
+//
+// Record schema: docs/observability.md §decision records.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using gm::obs::FlatRecord;
+using gm::obs::record_num;
+using gm::obs::record_str;
+
+/// Human sentence for one decision record.
+std::string narrate(const FlatRecord& r) {
+  const std::string action = record_str(r, "action", "?");
+  const std::string reason = record_str(r, "reason", "?");
+  std::string text;
+  if (action == "run") {
+    text = "ran immediately";
+  } else if (action == "defer") {
+    const auto off = record_num(r, "chosen_offset", -1.0);
+    text = off >= 0 ? "deferred to slot offset +" +
+                          std::to_string(static_cast<long long>(off))
+                    : "deferred with no in-horizon slot";
+  } else if (action == "beyond") {
+    text = "deferred beyond the planning horizon";
+  } else if (action == "drop") {
+    text = "dropped";
+  } else {
+    text = action;
+  }
+  text += " (" + reason;
+  if (record_str(r, "warm_solve") == "true") text += ", warm solve";
+  text += ")";
+  return text;
+}
+
+void print_costs(const FlatRecord& r, std::ostream& out) {
+  const double green = record_num(r, "green_cost", -1.0);
+  const double brown = record_num(r, "brown_cost", -1.0);
+  if (green >= 0 && brown >= 0)
+    out << "    marginal path cost: green " << green << " vs brown "
+        << brown << " (green saves " << brown - green << ")\n";
+  else if (brown >= 0)
+    out << "    marginal path cost: brown " << brown << "\n";
+  const double flow = record_num(r, "slot_green_flow", -1.0);
+  if (flow >= 0)
+    out << "    green units routed to the chosen slot: " << flow
+        << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  long long task = -1;
+  long long slot = -1;
+  bool deferred_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: gm_explain <trace.jsonl> --task=ID "
+                   "[--slot=S]\n"
+                   "       gm_explain <trace.jsonl> --slot=S "
+                   "--deferred\n";
+      return 0;
+    }
+    if (arg.rfind("--task=", 0) == 0) {
+      task = std::stoll(arg.substr(std::strlen("--task=")));
+      continue;
+    }
+    if (arg.rfind("--slot=", 0) == 0) {
+      slot = std::stoll(arg.substr(std::strlen("--slot=")));
+      continue;
+    }
+    if (arg == "--deferred") {
+      deferred_only = true;
+      continue;
+    }
+    if (path.empty() && arg.rfind("--", 0) != 0) {
+      path = arg;
+    } else {
+      std::cerr << "error: unexpected argument '" << arg << "'\n";
+      return 2;
+    }
+  }
+  if (path.empty() || (task < 0 && slot < 0)) {
+    std::cerr << "usage: gm_explain <trace.jsonl> --task=ID [--slot=S]\n"
+                 "       gm_explain <trace.jsonl> --slot=S --deferred\n";
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot open trace file: " << path << '\n';
+    return 1;
+  }
+
+  std::vector<FlatRecord> matches;
+  std::uint64_t decision_records = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    FlatRecord r;
+    try {
+      r = gm::obs::parse_flat_json(line);
+    } catch (const std::exception&) {
+      continue;  // summarizer semantics: never die on a foreign line
+    }
+    if (record_str(r, "kind") != "decision") continue;
+    ++decision_records;
+    if (task >= 0 &&
+        static_cast<long long>(record_num(r, "task", -1.0)) != task)
+      continue;
+    if (slot >= 0 &&
+        static_cast<long long>(record_num(r, "slot", -1.0)) != slot)
+      continue;
+    if (deferred_only) {
+      const std::string action = record_str(r, "action");
+      if (action == "run") continue;
+    }
+    matches.push_back(std::move(r));
+  }
+
+  if (matches.empty()) {
+    if (decision_records == 0) {
+      std::cerr << "no decision records in " << path
+                << " — re-run the simulation with --provenance (and "
+                   "--trace) to capture them\n";
+    } else if (task >= 0) {
+      std::cerr << "no decisions for task " << task
+                << (slot >= 0 ? " at slot " + std::to_string(slot) : "")
+                << " among " << decision_records
+                << " decision records\n";
+    } else {
+      std::cerr << "no " << (deferred_only ? "deferred " : "")
+                << "decisions at slot " << slot << " among "
+                << decision_records << " decision records\n";
+    }
+    return 3;
+  }
+
+  if (task >= 0) {
+    std::cout << "task " << task << ": " << matches.size()
+              << " decision(s)\n";
+    for (const auto& r : matches) {
+      std::cout << "  slot "
+                << static_cast<long long>(record_num(r, "slot")) << " ["
+                << record_str(r, "policy", "?") << "]: " << narrate(r)
+                << '\n';
+      const auto class_id = record_num(r, "class_id", -1.0);
+      if (class_id >= 0)
+        std::cout << "    aggregated into class node "
+                  << static_cast<long long>(class_id) << " ("
+                  << static_cast<long long>(record_num(r, "class_size"))
+                  << " interchangeable tasks, demux rank "
+                  << static_cast<long long>(
+                         record_num(r, "demux_rank", -1.0))
+                  << ")\n";
+      print_costs(r, std::cout);
+      std::cout << "    deadline slack: "
+                << static_cast<long long>(
+                       record_num(r, "deadline_slack"))
+                << " slot(s)\n";
+    }
+    return 0;
+  }
+
+  // Slot view: one row per task decision at the slot.
+  std::cout << "slot " << slot << ": " << matches.size()
+            << (deferred_only ? " deferred/waiting" : "")
+            << " decision(s)\n";
+  gm::TextTable table({"task", "action", "reason", "offset", "class",
+                       "slack", "green", "brown"});
+  for (const auto& r : matches) {
+    const auto cell = [&](const char* key) {
+      const double v = record_num(r, key, -1.0);
+      return v < 0 ? std::string("-")
+                   : std::to_string(static_cast<long long>(v));
+    };
+    table.add_row({std::to_string(static_cast<long long>(
+                       record_num(r, "task"))),
+                   record_str(r, "action", "?"),
+                   record_str(r, "reason", "?"), cell("chosen_offset"),
+                   cell("class_id"), cell("deadline_slack"),
+                   cell("green_cost"), cell("brown_cost")});
+  }
+  table.print(std::cout);
+  return 0;
+}

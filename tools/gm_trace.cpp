@@ -1,15 +1,22 @@
 // gm_trace — summarize a structured JSONL trace written by
 // greenmatch_sim/greenmatch_sweep `--trace=FILE`.
 //
-//   gm_trace <trace.jsonl> [--top=N] [--slots]
+//   gm_trace <trace.jsonl> [--top=N] [--slots] [--check]
 //
 // Prints:
 //   - run overview (records, slots, horizon, energy totals, and the
 //     residual of the ledger conservation identity as a sanity check);
 //   - per-day energy balance table (per-slot with --slots);
 //   - event counts by kind;
-//   - top-N phases by total time (from the kind=phase aggregates the
-//     recorder appends at finish; requires the run used --profile).
+//   - decision counts by action/reason (runs traced with --provenance);
+//   - top-N phases by total time with p50/p95/p99 (requires --profile).
+//
+// Forward compatibility: a malformed line or an unknown record kind is
+// warned about on stderr and skipped — never fatal — so this
+// summarizer keeps working on traces from newer simulators. `--check`
+// turns strict: it validates the schema (parseable lines, known kinds,
+// required slot fields) and exits nonzero on any violation; CI runs it
+// against every smoke trace.
 //
 // The schema is documented in docs/observability.md; the parser is the
 // bundled flat-JSON reader, so this tool works on any trace the
@@ -20,6 +27,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -32,6 +40,17 @@ namespace {
 using gm::obs::FlatRecord;
 using gm::obs::record_num;
 using gm::obs::record_str;
+
+/// Record kinds this summarizer understands (docs/observability.md).
+/// Anything else is counted as a generic event with a one-time
+/// warning, so older gm_trace builds keep working on newer traces.
+const std::set<std::string>& known_kinds() {
+  static const std::set<std::string> kinds = {
+      "slot",      "phase",         "run_end",   "audit",
+      "decision",  "task_admit",    "task_complete", "task_miss",
+      "node_fail", "node_repair",   "transfer"};
+  return kinds;
+}
 
 struct EnergyBucket {
   std::int64_t slots = 0;
@@ -89,14 +108,20 @@ int main(int argc, char** argv) {
   std::string path;
   int top = 10;
   bool per_slot = false;
+  bool check = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: gm_trace <trace.jsonl> [--top=N] [--slots]\n";
+      std::cout << "usage: gm_trace <trace.jsonl> [--top=N] [--slots] "
+                   "[--check]\n";
       return 0;
     }
     if (arg == "--slots") {
       per_slot = true;
+      continue;
+    }
+    if (arg == "--check") {
+      check = true;
       continue;
     }
     if (arg.rfind("--top=", 0) == 0) {
@@ -111,7 +136,8 @@ int main(int argc, char** argv) {
     }
   }
   if (path.empty()) {
-    std::cerr << "usage: gm_trace <trace.jsonl> [--top=N] [--slots]\n";
+    std::cerr << "usage: gm_trace <trace.jsonl> [--top=N] [--slots] "
+                 "[--check]\n";
     return 2;
   }
 
@@ -126,18 +152,51 @@ int main(int argc, char** argv) {
     std::map<std::int64_t, EnergyBucket> days;
     std::vector<std::pair<std::string, EnergyBucket>> slot_rows;
     std::map<std::string, std::uint64_t> event_counts;
+    std::map<std::string, std::uint64_t> decision_actions;
+    std::map<std::string, std::uint64_t> decision_reasons;
     std::vector<FlatRecord> phases;
+    std::set<std::string> warned_kinds;
     double horizon_s = 0.0;
     double conservation_residual_j = 0.0;
     std::uint64_t records = 0;
+    std::uint64_t skipped = 0;
+    std::uint64_t violations = 0;
 
     std::string line;
+    std::uint64_t line_no = 0;
     while (std::getline(in, line)) {
+      ++line_no;
       if (line.empty()) continue;
-      const FlatRecord r = gm::obs::parse_flat_json(line);
+      // Warn-and-skip per line: one malformed or foreign record must
+      // not take down the whole summary (older summarizer, newer
+      // trace). --check instead counts it as a schema violation.
+      FlatRecord r;
+      try {
+        r = gm::obs::parse_flat_json(line);
+      } catch (const std::exception& e) {
+        std::cerr << "warning: line " << line_no << ": " << e.what()
+                  << " — skipped\n";
+        ++skipped;
+        ++violations;
+        continue;
+      }
       ++records;
       const std::string kind = record_str(r, "kind");
+      if (kind.empty()) {
+        std::cerr << "warning: line " << line_no
+                  << ": record has no kind — skipped\n";
+        ++skipped;
+        ++violations;
+        continue;
+      }
       if (kind == "slot") {
+        if (check &&
+            (!r.count("start_s") || !r.count("end_s") ||
+             !r.count("demand_j"))) {
+          std::cerr << "warning: line " << line_no
+                    << ": slot record missing required fields\n";
+          ++violations;
+        }
         total.add(r);
         const double start = record_num(r, "start_s");
         days[static_cast<std::int64_t>(start / 86400.0)].add(r);
@@ -154,9 +213,26 @@ int main(int argc, char** argv) {
              record_num(r, "battery_out_j") + record_num(r, "brown_j")));
       } else if (kind == "phase") {
         phases.push_back(r);
+      } else if (kind == "decision") {
+        const std::string action = record_str(r, "action", "?");
+        ++decision_actions[action];
+        ++decision_reasons[action + " / " +
+                           record_str(r, "reason", "?")];
       } else if (kind != "run_end") {
+        if (!known_kinds().count(kind) &&
+            warned_kinds.insert(kind).second) {
+          std::cerr << "warning: unknown record kind '" << kind
+                    << "' — counted as event\n";
+          if (check) ++violations;
+        }
         ++event_counts[kind];
       }
+    }
+
+    if (check) {
+      std::cout << "check: " << records << " records, " << skipped
+                << " skipped, " << violations << " violations\n";
+      return violations > 0 ? 3 : 0;
     }
 
     std::cout << "trace: " << path << '\n'
@@ -192,10 +268,22 @@ int main(int argc, char** argv) {
       events.print(std::cout);
     }
 
+    if (!decision_actions.empty()) {
+      std::cout << "\ndecisions (action / reason):\n";
+      gm::TextTable table({"action / reason", "count"});
+      for (const auto& [action, count] : decision_actions)
+        table.add_row({action, std::to_string(count)});
+      for (const auto& [reason, count] : decision_reasons)
+        table.add_row({"  " + reason, std::to_string(count)});
+      table.print(std::cout);
+    }
+
     if (!phases.empty()) {
       std::cout << "\ntop phases by total time:\n";
-      gm::TextTable table(
-          {"phase", "calls", "total ms", "mean us", "max us"});
+      // p50/p95/p99 appeared with the v2 recorder; older traces just
+      // show zeros (record_num falls back to 0 on missing keys).
+      gm::TextTable table({"phase", "calls", "total ms", "mean us",
+                           "p50 us", "p95 us", "p99 us", "max us"});
       int shown = 0;
       for (const auto& r : phases) {
         if (shown++ >= top) break;
@@ -204,10 +292,15 @@ int main(int argc, char** argv) {
              gm::TextTable::num(record_num(r, "calls"), 0),
              gm::TextTable::num(record_num(r, "total_ms")),
              gm::TextTable::num(record_num(r, "mean_us")),
+             gm::TextTable::num(record_num(r, "p50_us")),
+             gm::TextTable::num(record_num(r, "p95_us")),
+             gm::TextTable::num(record_num(r, "p99_us")),
              gm::TextTable::num(record_num(r, "max_us"))});
       }
       table.print(std::cout);
     }
+    if (skipped > 0)
+      std::cerr << "note: " << skipped << " unreadable line(s) skipped\n";
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

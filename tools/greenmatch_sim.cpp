@@ -24,13 +24,25 @@
 //   --metrics=FILE  metrics registry export; .csv selects CSV,
 //                   anything else Prometheus text exposition
 //   --manifest=FILE explicit manifest path (overrides derivation)
-//   --profile       GM_OBS_SCOPE phase timing; prints a table
+//   --profile       GM_OBS_SCOPE phase timing; prints a table with
+//                   p50/p95/p99 columns
+//   --provenance    per-task decision records (kind=decision in the
+//                   trace; query them with tools/gm_explain)
+//   --chrome-trace=FILE
+//                   Chrome trace-event JSON, loadable in Perfetto
+//                   (ui.perfetto.dev) or chrome://tracing
+//
+// When any observability flag is active, a planner telemetry stanza
+// (warm starts, solver work) is printed after the summary for
+// GreenMatch runs. It is withheld from plain runs so the summary
+// stays byte-identical to the golden corpus.
 //
 // Examples:
 //   greenmatch_sim policy.kind=asap battery.kwh=40
 //   greenmatch_sim experiment.conf sim.fidelity=event --slots
 //   greenmatch_sim configs/canonical_week.conf --trace=run.jsonl \
-//       --metrics=run.prom --profile
+//       --metrics=run.prom --profile --provenance \
+//       --chrome-trace=run.trace.json
 
 #include <cstring>
 #include <iostream>
@@ -50,7 +62,8 @@ void print_usage() {
       "usage: greenmatch_sim [config-file] [key=value ...] [--slots]\n"
       "                      [--audit[=FILE]] [--trace=FILE]\n"
       "                      [--metrics=FILE] [--manifest=FILE]\n"
-      "                      [--profile]\n\n"
+      "                      [--profile] [--provenance]\n"
+      "                      [--chrome-trace=FILE]\n\n"
       "Runs one GreenMatch simulation. Configuration keys:\n\n"
       << gm::core::config_keys_help();
 }
@@ -115,6 +128,15 @@ int main(int argc, char** argv) {
       obs_config.profile = true;
       continue;
     }
+    if (arg == "--provenance") {
+      obs_config.provenance = true;
+      continue;
+    }
+    if (arg.rfind("--chrome-trace=", 0) == 0) {
+      obs_config.chrome_trace_path =
+          arg.substr(std::strlen("--chrome-trace="));
+      continue;
+    }
     if (arg.rfind("--trace=", 0) == 0) {
       obs_config.trace_path = arg.substr(std::strlen("--trace="));
       continue;
@@ -153,6 +175,29 @@ int main(int argc, char** argv) {
     gm::core::SimulationEngine engine(config, recorder);
     const gm::core::RunArtifacts artifacts = engine.run();
     artifacts.result.print_summary(std::cout);
+
+    // Planner telemetry stanza — only with observability enabled, so
+    // a plain run's stdout stays byte-identical to the golden corpus.
+    // Routed to stderr under --slots to keep the CSV pipeline clean.
+    if (recorder) {
+      const auto& s = artifacts.result.scheduler;
+      if (s.solver_solves > 0 || s.warm_accepts + s.warm_rejects > 0) {
+        std::ostream& out = emit_slots ? std::cerr : std::cout;
+        out << "\nplanner telemetry:\n"
+            << "  solves: " << s.solver_solves
+            << "  cache hits: " << s.plan_cache_hits
+            << "  warm accepts: " << s.warm_accepts
+            << "  warm rejects: " << s.warm_rejects << '\n'
+            << "  dijkstra runs: " << s.solver_dijkstra_runs
+            << "  pops: " << s.solver_dijkstra_pops
+            << "  relaxations: " << s.solver_relaxations
+            << "  augmenting paths: " << s.solver_augmenting_paths
+            << '\n'
+            << "  arena bytes (peak): " << s.solver_arena_bytes_peak
+            << '\n';
+      }
+    }
+
     if (emit_slots) {
       std::cout << '\n';
       print_slot_csv(artifacts);

@@ -15,11 +15,12 @@
 // Results are collected by index, so the table and csv: output are
 // byte-identical whatever the job count.
 //
-// Observability: --trace / --metrics name *base* files; each sweep
-// point writes to the base with its index and value spliced in before
-// the extension (run.jsonl -> run.0-asap.jsonl). The index keeps
-// distinct points from colliding after value sanitization. --profile
-// prints one phase-timing table per point.
+// Observability: --trace / --metrics / --chrome-trace name *base*
+// files; each sweep point writes to the base with its index and value
+// spliced in before the extension (run.jsonl -> run.0-asap.jsonl).
+// The index keeps distinct points from colliding after value
+// sanitization. --profile prints one phase-timing table per point;
+// --provenance adds per-task decision records to each point's trace.
 //
 // Correctness: --audit runs the gm::audit conservation checks on every
 // point (on the worker thread, via the sweep post_run hook); failures
@@ -78,7 +79,9 @@ int main(int argc, char** argv) {
     std::cout << "usage: greenmatch_sweep <key> <v1,v2,...> "
                  "[config-file] [key=value ...] [--jobs=N]\n"
                  "                      [--trace=FILE] [--metrics=FILE] "
-                 "[--profile] [--audit[=FILE]]\n\nKeys:\n"
+                 "[--profile] [--audit[=FILE]]\n"
+                 "                      [--chrome-trace=FILE] "
+                 "[--provenance]\n\nKeys:\n"
               << gm::core::config_keys_help();
     return argc == 1 ? 0 : 2;
   }
@@ -125,6 +128,14 @@ int main(int argc, char** argv) {
     }
     if (arg.rfind("--metrics=", 0) == 0) {
       spec.metrics_base = arg.substr(std::strlen("--metrics="));
+      continue;
+    }
+    if (arg.rfind("--chrome-trace=", 0) == 0) {
+      spec.chrome_base = arg.substr(std::strlen("--chrome-trace="));
+      continue;
+    }
+    if (arg == "--provenance") {
+      spec.provenance = true;
       continue;
     }
     const auto eq = arg.find('=');
