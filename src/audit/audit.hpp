@@ -24,7 +24,9 @@
 // `config_roundtrip` checks that config_echo → apply_config →
 // config_echo is a fixed point, i.e. a run manifest really reproduces
 // the run it describes (over the kv-representable config surface;
-// preset workload objects and failure injections have no kv form).
+// preset workload objects have no kv form — failure injections do,
+// via `failures.events`, as do the seeded scenario generators via
+// `scenario.*`).
 //
 // Used by `greenmatch_sim --audit`, `greenmatch_sweep --audit` and
 // `tools/gm_golden`; see docs/correctness.md.

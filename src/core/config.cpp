@@ -30,6 +30,8 @@ void ExperimentConfig::validate() const {
   GM_CHECK(repair_rate_bytes_per_s > 0.0,
            "repair rate must be positive");
   GM_CHECK(repair_deadline_s > 0.0, "repair deadline must be positive");
+  if (noisy_forecast) forecast_noise.validate();
+  scenario.validate();
   for (const auto& f : node_failures) {
     GM_CHECK(f.fail_at >= 0, "failure before simulation start");
     GM_CHECK(f.recover_at == 0 || f.recover_at > f.fail_at,

@@ -15,6 +15,7 @@
 #include "energy/grid.hpp"
 #include "energy/solar.hpp"
 #include "energy/wind.hpp"
+#include "scenario/scenario.hpp"
 #include "storage/cluster.hpp"
 #include "workload/spec.hpp"
 
@@ -102,6 +103,14 @@ struct ExperimentConfig {
   /// deliberately NOT reachable from the config-file key space. Leave
   /// at 0 for real runs.
   Joules test_leak_j_per_slot = 0.0;
+
+  // --- scenario engine -----------------------------------------------
+  /// Stochastic adversarial-week processes (seeded node-failure
+  /// streams, grid spikes, renewable curtailment). The engine
+  /// materializes them deterministically at construction and layers
+  /// the results on top of the explicit lists below, so a manifest
+  /// carrying the scenario.* keys reproduces the exact same week.
+  scenario::ScenarioConfig scenario;
 
   // --- failure injection ---------------------------------------------
   std::vector<NodeFailureEvent> node_failures;

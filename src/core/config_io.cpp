@@ -56,6 +56,58 @@ std::string echo_battery_technology(const energy::BatteryConfig& b) {
   return "li";
 }
 
+scenario::FailureProcess parse_failure_process(const std::string& name) {
+  if (name == "none") return scenario::FailureProcess::kNone;
+  if (name == "poisson") return scenario::FailureProcess::kPoisson;
+  if (name == "weibull") return scenario::FailureProcess::kWeibull;
+  throw InvalidArgument("unknown scenario.failure_process: '" + name +
+                        "'");
+}
+
+/// failures.events value: `node@fail_s@recover_s` entries separated by
+/// ';' (recover_s 0 = the node never comes back). All integers, so the
+/// echo round-trips exactly.
+std::vector<NodeFailureEvent> parse_failure_events(
+    const std::string& text) {
+  std::vector<NodeFailureEvent> events;
+  std::istringstream stream(text);
+  std::string entry;
+  while (std::getline(stream, entry, ';')) {
+    if (entry.empty()) continue;
+    const auto first = entry.find('@');
+    const auto second =
+        first == std::string::npos ? first : entry.find('@', first + 1);
+    if (second == std::string::npos)
+      throw InvalidArgument(
+          "failures.events entry must be node@fail_s@recover_s: '" +
+          entry + "'");
+    NodeFailureEvent e;
+    try {
+      e.node = static_cast<storage::NodeId>(
+          std::stoul(entry.substr(0, first)));
+      e.fail_at = static_cast<SimTime>(
+          std::stoll(entry.substr(first + 1, second - first - 1)));
+      e.recover_at =
+          static_cast<SimTime>(std::stoll(entry.substr(second + 1)));
+    } catch (const std::exception&) {
+      throw InvalidArgument("bad failures.events entry: '" + entry + "'");
+    }
+    events.push_back(e);
+  }
+  return events;
+}
+
+std::string echo_failure_events(
+    const std::vector<NodeFailureEvent>& events) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) os << ';';
+    os << events[i].node << '@' << events[i].fail_at << '@'
+       << events[i].recover_at;
+  }
+  return os.str();
+}
+
 }  // namespace
 
 void apply_config(ExperimentConfig& config, const KeyValueConfig& kv) {
@@ -174,6 +226,59 @@ void apply_config(ExperimentConfig& config, const KeyValueConfig& kv) {
       kv.get_bool_or("forecast.noisy", config.noisy_forecast);
   config.forecast_noise.error_at_1h = kv.get_double_or(
       "forecast.error_at_1h", config.forecast_noise.error_at_1h);
+  config.forecast_noise.error_cap = kv.get_double_or(
+      "forecast.error_cap", config.forecast_noise.error_cap);
+  config.forecast_noise.bias_at_1h = kv.get_double_or(
+      "forecast.bias_at_1h", config.forecast_noise.bias_at_1h);
+  config.forecast_noise.ar1_rho = kv.get_double_or(
+      "forecast.ar1_rho", config.forecast_noise.ar1_rho);
+  config.forecast_noise.seed = static_cast<std::uint64_t>(kv.get_int_or(
+      "forecast.seed",
+      static_cast<std::int64_t>(config.forecast_noise.seed)));
+
+  // --- failure injection ---------------------------------------------
+  if (const auto events = kv.get_string("failures.events"))
+    config.node_failures = parse_failure_events(*events);
+  config.repair_rate_bytes_per_s =
+      kv.get_double_or("failures.repair_rate_bytes_per_s",
+                       config.repair_rate_bytes_per_s);
+  config.repair_deadline_s = kv.get_double_or(
+      "failures.repair_deadline_s", config.repair_deadline_s);
+
+  // --- scenario processes --------------------------------------------
+  auto& sc = config.scenario;
+  if (const auto process = kv.get_string("scenario.failure_process"))
+    sc.failures.process = parse_failure_process(*process);
+  sc.failures.mtbf_hours =
+      kv.get_double_or("scenario.mtbf_hours", sc.failures.mtbf_hours);
+  sc.failures.weibull_shape = kv.get_double_or(
+      "scenario.weibull_shape", sc.failures.weibull_shape);
+  sc.failures.mttr_hours =
+      kv.get_double_or("scenario.mttr_hours", sc.failures.mttr_hours);
+  sc.failures.seed = static_cast<std::uint64_t>(kv.get_int_or(
+      "scenario.failure_seed",
+      static_cast<std::int64_t>(sc.failures.seed)));
+  sc.grid_spikes.rate_per_day = kv.get_double_or(
+      "scenario.spike_rate_per_day", sc.grid_spikes.rate_per_day);
+  sc.grid_spikes.duration_h = kv.get_double_or(
+      "scenario.spike_duration_h", sc.grid_spikes.duration_h);
+  sc.grid_spikes.carbon_multiplier = kv.get_double_or(
+      "scenario.spike_carbon_x", sc.grid_spikes.carbon_multiplier);
+  sc.grid_spikes.price_multiplier = kv.get_double_or(
+      "scenario.spike_price_x", sc.grid_spikes.price_multiplier);
+  sc.grid_spikes.seed = static_cast<std::uint64_t>(kv.get_int_or(
+      "scenario.spike_seed",
+      static_cast<std::int64_t>(sc.grid_spikes.seed)));
+  sc.curtailment.rate_per_day = kv.get_double_or(
+      "scenario.curtail_rate_per_day", sc.curtailment.rate_per_day);
+  sc.curtailment.duration_h = kv.get_double_or(
+      "scenario.curtail_duration_h", sc.curtailment.duration_h);
+  sc.curtailment.supply_fraction =
+      kv.get_double_or("scenario.curtail_supply_fraction",
+                       sc.curtailment.supply_fraction);
+  sc.curtailment.seed = static_cast<std::uint64_t>(kv.get_int_or(
+      "scenario.curtail_seed",
+      static_cast<std::int64_t>(sc.curtailment.seed)));
 
   const auto unknown = kv.unconsumed_keys();
   if (!unknown.empty()) {
@@ -252,6 +357,41 @@ std::vector<std::pair<std::string, std::string>> config_echo(
   add("sim.maid_min_disks", std::to_string(c.maid_min_spinning_disks));
   add("forecast.noisy", echo_bool(c.noisy_forecast));
   add("forecast.error_at_1h", echo_num(c.forecast_noise.error_at_1h));
+  add("forecast.error_cap", echo_num(c.forecast_noise.error_cap));
+  add("forecast.bias_at_1h", echo_num(c.forecast_noise.bias_at_1h));
+  add("forecast.ar1_rho", echo_num(c.forecast_noise.ar1_rho));
+  add("forecast.seed", std::to_string(c.forecast_noise.seed));
+  if (!c.node_failures.empty())
+    add("failures.events", echo_failure_events(c.node_failures));
+  add("failures.repair_rate_bytes_per_s",
+      echo_num(c.repair_rate_bytes_per_s));
+  add("failures.repair_deadline_s", echo_num(c.repair_deadline_s));
+  add("scenario.failure_process",
+      scenario::failure_process_name(c.scenario.failures.process));
+  add("scenario.mtbf_hours", echo_num(c.scenario.failures.mtbf_hours));
+  add("scenario.weibull_shape",
+      echo_num(c.scenario.failures.weibull_shape));
+  add("scenario.mttr_hours", echo_num(c.scenario.failures.mttr_hours));
+  add("scenario.failure_seed",
+      std::to_string(c.scenario.failures.seed));
+  add("scenario.spike_rate_per_day",
+      echo_num(c.scenario.grid_spikes.rate_per_day));
+  add("scenario.spike_duration_h",
+      echo_num(c.scenario.grid_spikes.duration_h));
+  add("scenario.spike_carbon_x",
+      echo_num(c.scenario.grid_spikes.carbon_multiplier));
+  add("scenario.spike_price_x",
+      echo_num(c.scenario.grid_spikes.price_multiplier));
+  add("scenario.spike_seed",
+      std::to_string(c.scenario.grid_spikes.seed));
+  add("scenario.curtail_rate_per_day",
+      echo_num(c.scenario.curtailment.rate_per_day));
+  add("scenario.curtail_duration_h",
+      echo_num(c.scenario.curtailment.duration_h));
+  add("scenario.curtail_supply_fraction",
+      echo_num(c.scenario.curtailment.supply_fraction));
+  add("scenario.curtail_seed",
+      std::to_string(c.scenario.curtailment.seed));
   return kv;
 }
 
@@ -273,7 +413,18 @@ std::string config_keys_help() {
       "policy.window_end_h, grid.profile (flat|wind-heavy|solar-heavy)\n"
       "sim.fidelity (slot|event), sim.slot_seconds, sim.dwell_slots,\n"
       "sim.drain_slots, sim.dvfs_eco_speed, sim.maid, sim.maid_min_disks\n"
-      "forecast.noisy, forecast.error_at_1h\n";
+      "forecast.noisy, forecast.error_at_1h, forecast.error_cap,\n"
+      "forecast.bias_at_1h, forecast.ar1_rho, forecast.seed\n"
+      "failures.events (node@fail_s@recover_s;... recover 0 = never),\n"
+      "failures.repair_rate_bytes_per_s, failures.repair_deadline_s\n"
+      "scenario.failure_process (none|poisson|weibull),\n"
+      "scenario.mtbf_hours, scenario.weibull_shape, scenario.mttr_hours,\n"
+      "scenario.failure_seed\n"
+      "scenario.spike_rate_per_day, scenario.spike_duration_h,\n"
+      "scenario.spike_carbon_x, scenario.spike_price_x,\n"
+      "scenario.spike_seed\n"
+      "scenario.curtail_rate_per_day, scenario.curtail_duration_h,\n"
+      "scenario.curtail_supply_fraction, scenario.curtail_seed\n";
 }
 
 }  // namespace gm::core

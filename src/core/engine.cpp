@@ -15,6 +15,14 @@ namespace gm::core {
 
 namespace {
 
+/// Horizon the scenario processes must cover: the workload window plus
+/// the drain tail (events in the drain still hit the engine).
+SimTime scenario_horizon(const ExperimentConfig& config) {
+  return config.duration() +
+         static_cast<SimTime>(config.max_drain_slots) *
+             config.slot_length_s;
+}
+
 std::shared_ptr<const energy::PowerSource> build_supply(
     const ExperimentConfig& config) {
   auto composite = std::make_shared<energy::CompositeSource>();
@@ -33,16 +41,34 @@ std::shared_ptr<const energy::PowerSource> build_supply(
     any = true;
   }
   if (!any) return std::make_shared<energy::NullSource>();
-  return composite;
+  // Demand-response curtailment windows derate the whole site feed;
+  // wrapping here means the truth source, the forecasters and the
+  // precomputed slot energies all see the curtailed supply.
+  auto windows = scenario::generate_curtailment_windows(
+      config.scenario.curtailment, scenario_horizon(config));
+  if (windows.empty()) return composite;
+  return std::make_shared<energy::ModulatedSource>(std::move(composite),
+                                                   std::move(windows));
 }
 
 std::unique_ptr<energy::ForecastProvider> build_forecast(
     const ExperimentConfig& config,
     std::shared_ptr<const energy::PowerSource> supply) {
   if (config.noisy_forecast)
-    return std::make_unique<energy::NoisyForecast>(std::move(supply),
-                                                   config.forecast_noise);
+    return std::make_unique<energy::NoisyForecast>(
+        std::move(supply), config.forecast_noise, config.slot_length_s);
   return std::make_unique<energy::PerfectForecast>(std::move(supply));
+}
+
+/// config.grid with scenario-generated spike events appended. Both the
+/// meter and the planner's carbon forecast read the result, so a
+/// carbon-aware policy sees the same spike it will be charged for.
+energy::GridConfig build_effective_grid(const ExperimentConfig& config) {
+  energy::GridConfig grid = config.grid;
+  auto spikes = scenario::generate_grid_spikes(
+      config.scenario.grid_spikes, scenario_horizon(config));
+  grid.events.insert(grid.events.end(), spikes.begin(), spikes.end());
+  return grid;
 }
 
 }  // namespace
@@ -61,7 +87,8 @@ SimulationEngine::SimulationEngine(const ExperimentConfig& config,
       supply_(build_supply(config)),
       forecast_(build_forecast(config, supply_)),
       battery_(config.battery),
-      grid_(config.grid),
+      effective_grid_(build_effective_grid(config)),
+      grid_(effective_grid_),
       policy_(make_policy(config.policy)),
       power_(cluster_, config.min_dwell_slots),
       router_(cluster_, storage::RouterConfig{}),
@@ -81,6 +108,26 @@ SimulationEngine::SimulationEngine(const ExperimentConfig& config,
   std::sort(config_.node_failures.begin(), config_.node_failures.end(),
             [](const NodeFailureEvent& a, const NodeFailureEvent& b) {
               return a.fail_at < b.fail_at;
+            });
+  // Merge the explicit failure list with the scenario-generated outage
+  // stream; process_failures consumes the merged, sorted list. config_
+  // itself stays pristine so the echoed manifest replays exactly
+  // (replaying would regenerate the same outages from scenario.*).
+  failure_events_ = config_.node_failures;
+  for (const auto& o : scenario::generate_node_outages(
+           config_.scenario.failures,
+           static_cast<int>(cluster_.node_count()),
+           scenario_horizon(config_))) {
+    NodeFailureEvent e;
+    e.fail_at = o.fail_at;
+    e.recover_at = o.recover_at;
+    e.node = static_cast<storage::NodeId>(o.node);
+    failure_events_.push_back(e);
+  }
+  std::sort(failure_events_.begin(), failure_events_.end(),
+            [](const NodeFailureEvent& a, const NodeFailureEvent& b) {
+              if (a.fail_at != b.fail_at) return a.fail_at < b.fail_at;
+              return a.node < b.node;
             });
 
   // Precompute per-slot foreground utilization (node-equivalents).
@@ -160,7 +207,7 @@ void SimulationEngine::process_failures(SimTime now, SlotIndex slot) {
           .set("node", static_cast<std::uint64_t>(e.node));
     return true;
   });
-  const auto& events = config_.node_failures;
+  const auto& events = failure_events_;
   while (next_failure_index_ < events.size() &&
          events[next_failure_index_].fail_at <= now) {
     const NodeFailureEvent& e = events[next_failure_index_++];
@@ -239,7 +286,7 @@ const SlotContext& SimulationEngine::make_context(SlotIndex slot,
                                     config_.slot_length_s +
                         config_.slot_length_s / 2;
     ctx.grid_carbon_g_per_kwh.push_back(
-        config_.grid.carbon_g_per_kwh(calendar_of(mid).hour));
+        effective_grid_.carbon_g_per_kwh_at(mid));
   }
   ctx.foreground_util = ctx.foreground_util_forecast[0];
   ctx.pending.assign(pending_.begin(), pending_.end());
@@ -415,16 +462,87 @@ void SimulationEngine::inject_task(const storage::BackgroundTask& task,
   ++tasks_admitted_;
 }
 
-void SimulationEngine::run_slot(SlotIndex slot) {
-  GM_CHECK(!finalized_, "run_slot after finalize");
+const SlotContext& SimulationEngine::observe(SlotIndex slot) {
+  GM_CHECK(!finalized_, "observe after finalize");
   GM_CHECK(slot == next_slot_, "slots must run consecutively: expected "
                                    << next_slot_ << ", got " << slot);
-  ++next_slot_;
+  GM_CHECK(!observed_, "observe called twice without an act between");
+  observed_ = true;
 
+  obs::ScopedRecorder obs_install(recorder_.get());
+  GM_OBS_SCOPE("engine.observe");
+
+  const SimTime slot_len = config_.slot_length_s;
+  const SimTime start = slot * slot_len;
+  const SimTime end = start + slot_len;
+
+  // 1. Failures/recoveries, then admit released tasks; keep the
+  //    pool deadline-sorted. The pool left by the previous slot is
+  //    already sorted (pending_sorted_ tracks the prefix length, and
+  //    federation injections land past it), so instead of re-sorting
+  //    everything we sort just the newcomers and admit them into
+  //    position with an inplace_merge. (deadline, id) keys are
+  //    unique for coexisting tasks, so this yields the same order a
+  //    full sort would.
+  const std::size_t before = pending_.size();
+  process_failures(start, slot);
+  admit_released_tasks(start);
+  tasks_admitted_ += pending_.size() - before;
+  const auto by_deadline = [](const PendingTask& a,
+                              const PendingTask& b) {
+    if (a.task.deadline != b.task.deadline)
+      return a.task.deadline < b.task.deadline;
+    return a.task.id < b.task.id;
+  };
+  const auto mid =
+      pending_.begin() +
+      static_cast<std::ptrdiff_t>(std::min(pending_sorted_, before));
+  std::sort(mid, pending_.end(), by_deadline);
+  std::inplace_merge(pending_.begin(), mid, pending_.end(),
+                     by_deadline);
+  pending_sorted_ = pending_.size();
+
+  // 2. The observation the agent decides on.
+  return make_context(slot, start, end);
+}
+
+void SimulationEngine::run_slot(SlotIndex slot) {
   // Make this engine's recorder visible to GM_OBS_SCOPE timers in the
   // policy, planner, power manager and router for the slot's duration.
   obs::ScopedRecorder obs_install(recorder_.get());
   GM_OBS_SCOPE("engine.run_slot");
+
+  const SlotContext& ctx = observe(slot);
+
+  // Policy decision. The extra steady_clock reads around decide()
+  // feed the per-slot plan-latency histogram (p50/p95/p99 at finish)
+  // and are taken only when a recorder is attached.
+  SlotDecision decision;
+  if (recorder_) {
+    const auto plan_t0 = std::chrono::steady_clock::now();
+    {
+      GM_OBS_SCOPE("policy.decide");
+      decision = policy_->decide(ctx);
+    }
+    recorder_->observe_plan_latency(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - plan_t0)
+            .count());
+  } else {
+    decision = policy_->decide(ctx);
+  }
+
+  act(slot, decision);
+}
+
+void SimulationEngine::act(SlotIndex slot, const SlotDecision& decision) {
+  GM_CHECK(observed_ && slot == next_slot_,
+           "act(" << slot << ") without a matching observe");
+  observed_ = false;
+  ++next_slot_;
+
+  obs::ScopedRecorder obs_install(recorder_.get());
+  GM_OBS_SCOPE("engine.act");
 
   const SimTime slot_len = config_.slot_length_s;
   const auto workload_slots =
@@ -437,54 +555,9 @@ void SimulationEngine::run_slot(SlotIndex slot) {
     const SimTime end = start + slot_len;
     const bool in_workload = slot < workload_slots;
 
-    // 1. Failures/recoveries, then admit released tasks; keep the
-    //    pool deadline-sorted. The pool left by the previous slot is
-    //    already sorted (pending_sorted_ tracks the prefix length, and
-    //    federation injections land past it), so instead of re-sorting
-    //    everything we sort just the newcomers and admit them into
-    //    position with an inplace_merge. (deadline, id) keys are
-    //    unique for coexisting tasks, so this yields the same order a
-    //    full sort would.
-    const std::size_t before = pending_.size();
-    process_failures(start, slot);
-    admit_released_tasks(start);
-    tasks_admitted_ += pending_.size() - before;
-    const auto by_deadline = [](const PendingTask& a,
-                                const PendingTask& b) {
-      if (a.task.deadline != b.task.deadline)
-        return a.task.deadline < b.task.deadline;
-      return a.task.id < b.task.id;
-    };
-    const auto mid =
-        pending_.begin() +
-        static_cast<std::ptrdiff_t>(std::min(pending_sorted_, before));
-    std::sort(mid, pending_.end(), by_deadline);
-    std::inplace_merge(pending_.begin(), mid, pending_.end(),
-                       by_deadline);
-    pending_sorted_ = pending_.size();
-
-    // 2. Policy decision. The extra steady_clock reads around decide()
-    //    feed the per-slot plan-latency histogram (p50/p95/p99 at
-    //    finish) and are taken only when a recorder is attached.
-    const SlotContext& ctx = make_context(slot, start, end);
-    SlotDecision decision;
-    if (recorder_) {
-      const auto plan_t0 = std::chrono::steady_clock::now();
-      {
-        GM_OBS_SCOPE("policy.decide");
-        decision = policy_->decide(ctx);
-      }
-      recorder_->observe_plan_latency(
-          std::chrono::duration<double, std::milli>(
-              std::chrono::steady_clock::now() - plan_t0)
-              .count());
-    } else {
-      decision = policy_->decide(ctx);
-    }
-
     // 3. Power management. The engine recomputes the floor the
     //    foreground demand imposes so a broken policy cannot starve it.
-    const double fg = ctx.foreground_util;
+    const double fg = ctx_.foreground_util;
     const int fg_floor = static_cast<int>(
         std::ceil(fg / config_.max_utilization_per_node));
     const int target =

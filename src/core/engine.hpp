@@ -62,10 +62,32 @@ class SimulationEngine {
   /// Total slots this run covers (workload + fixed drain).
   SlotIndex total_slots() const;
   /// Executes one slot; must be called with consecutive indices
-  /// starting at 0.
+  /// starting at 0. Equivalent to
+  /// `act(slot, policy.decide(observe(slot)))` with the internal
+  /// policy — bit-for-bit (the golden corpus pins this).
   void run_slot(SlotIndex slot);
   /// Assembles the result after the last slot. Call exactly once.
   RunArtifacts finalize();
+
+  // --- step/observe/act interface (RL-style environment framing) ----
+  /// Advances the environment into `slot` — applies due failures and
+  /// recoveries, admits released tasks, re-sorts the pending pool —
+  /// and returns the observation a scheduling agent decides on. Each
+  /// observe() must be paired with one act() on the same slot before
+  /// the next slot is observed. The returned reference is a rolling
+  /// buffer, valid until the next observe()/run_slot().
+  const SlotContext& observe(SlotIndex slot);
+  /// Applies a decision to the slot prepared by observe(): power
+  /// transitions, task assignment and execution (DVFS/MAID), request
+  /// routing, and the green→battery→grid energy settlement. External
+  /// agents (e.g. an RL driver) call observe()/act() directly with
+  /// their own SlotDecision; run() and run_slot() stay the legacy
+  /// slot loop on top of the same two steps.
+  void act(SlotIndex slot, const SlotDecision& decision);
+  /// The cluster facts handed to the internal policy's initialize() —
+  /// an external agent driving observe()/act() initializes its own
+  /// policy with the same facts to reproduce run() exactly.
+  const ClusterFacts& facts() const { return facts_; }
 
   /// Forecast green power (W) and foreground utilization for a slot —
   /// the signals a federation broker routes tasks by.
@@ -114,8 +136,9 @@ class SimulationEngine {
   /// Emits a task_admit trace event (caller checks trace_events()).
   void trace_task_admit(const storage::BackgroundTask& task, SimTime now,
                         const char* source);
-  /// Applies configured node failures/recoveries due by `now`; failed
-  /// nodes spawn one repair task per placement group they hosted.
+  /// Applies node failures/recoveries due by `now` (configured events
+  /// merged with scenario-generated outages); failed nodes spawn one
+  /// repair task per placement group they hosted.
   void process_failures(SimTime now, SlotIndex slot);
   /// Fills and returns ctx_ (a per-engine rolling buffer — the
   /// forecast vectors and pending snapshot reuse their allocations
@@ -143,6 +166,9 @@ class SimulationEngine {
   std::shared_ptr<const energy::PowerSource> supply_;
   std::unique_ptr<energy::ForecastProvider> forecast_;
   energy::Battery battery_;
+  /// config_.grid plus scenario-generated spike events — what the
+  /// meter charges and the planner's carbon forecast reads.
+  energy::GridConfig effective_grid_;
   energy::GridMeter grid_;
   std::unique_ptr<SchedulerPolicy> policy_;
   PowerManager power_;
@@ -184,7 +210,12 @@ class SimulationEngine {
   std::uint64_t tasks_admitted_ = 0;
   bool finalized_ = false;
   SlotIndex next_slot_ = 0;
+  /// observe() ran for next_slot_ but act() has not consumed it yet.
+  bool observed_ = false;
   RunArtifacts artifacts_;
+  /// config_.node_failures merged with scenario-generated outages,
+  /// sorted by fail_at; the list process_failures() consumes.
+  std::vector<NodeFailureEvent> failure_events_;
   std::size_t next_failure_index_ = 0;
   // Previous-slot snapshots for per-slot deltas in the trace.
   std::uint64_t last_forced_wakeups_ = 0;

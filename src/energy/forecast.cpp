@@ -21,12 +21,40 @@ Watts PerfectForecast::forecast_mean_w(SimTime issued_at, SimTime t0,
   return source_->energy_j(t0, t1) / static_cast<double>(t1 - t0);
 }
 
-NoisyForecast::NoisyForecast(std::shared_ptr<const PowerSource> source,
-                             const NoisyForecastConfig& config)
-    : source_(std::move(source)), config_(config) {
-  GM_CHECK(source_ != nullptr, "forecast needs a source");
-  GM_CHECK(config_.error_at_1h >= 0.0, "negative forecast error");
+void NoisyForecastConfig::validate() const {
+  GM_CHECK(error_at_1h >= 0.0, "negative forecast error");
+  GM_CHECK(error_cap > 0.0, "forecast error cap must be positive");
+  GM_CHECK(bias_at_1h > -1.0, "forecast bias must exceed -100%");
+  GM_CHECK(ar1_rho >= 0.0 && ar1_rho < 1.0,
+           "forecast AR(1) rho must be in [0, 1)");
 }
+
+NoisyForecast::NoisyForecast(std::shared_ptr<const PowerSource> source,
+                             const NoisyForecastConfig& config,
+                             SimTime lead_resolution_s)
+    : source_(std::move(source)),
+      config_(config),
+      lead_resolution_s_(lead_resolution_s) {
+  GM_CHECK(source_ != nullptr, "forecast needs a source");
+  GM_CHECK(lead_resolution_s_ > 0, "lead resolution must be positive");
+  config_.validate();
+}
+
+namespace {
+
+/// Standard-normal draw from a stateless key (polar Box-Muller).
+double unit_normal(std::uint64_t key) {
+  Rng rng(key);
+  double u, v, s;
+  do {
+    u = rng.uniform(-1.0, 1.0);
+    v = rng.uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  return u * std::sqrt(-2.0 * std::log(s) / s);
+}
+
+}  // namespace
 
 Watts NoisyForecast::forecast_mean_w(SimTime issued_at, SimTime t0,
                                      SimTime t1) const {
@@ -40,25 +68,41 @@ Watts NoisyForecast::forecast_mean_w(SimTime issued_at, SimTime t0,
   const double sigma = std::min(
       config_.error_cap, config_.error_at_1h * std::sqrt(
                              std::max(lead_hours, 1e-9)));
-  if (sigma <= 0.0 || truth <= 0.0) return truth;
+  const double bias = std::clamp(
+      config_.bias_at_1h * std::sqrt(lead_hours), -config_.error_cap,
+      config_.error_cap);
+  if ((sigma <= 0.0 && bias == 0.0) || truth <= 0.0) return truth;
 
-  // Deterministic noise keyed by (seed, window start, lead bucket):
-  // re-forecasting the same window from the same time repeats exactly.
-  const auto lead_bucket = static_cast<std::uint64_t>(lead_hours);
-  std::uint64_t key =
-      mix_hash(config_.seed, static_cast<std::uint64_t>(t0));
-  key = mix_hash(key, lead_bucket);
-  Rng rng(key);
-  // Multiplicative lognormal error with unit mean.
-  double u, v, s;
-  do {
-    u = rng.uniform(-1.0, 1.0);
-    v = rng.uniform(-1.0, 1.0);
-    s = u * u + v * v;
-  } while (s >= 1.0 || s == 0.0);
-  const double z = u * std::sqrt(-2.0 * std::log(s) / s);
-  const double factor = std::exp(sigma * z - 0.5 * sigma * sigma);
-  return truth * factor;
+  // Deterministic noise keyed at lead-resolution granularity: the
+  // innovation for chain step j of the forecast issued in slot
+  // `issue_slot` is keyed by (seed, window slot, lead in slots), so a
+  // repeated query of the same window from the same issue slot repeats
+  // exactly, while the next issue slot — even sub-hourly — revises the
+  // draw. With ar1_rho > 0 consecutive windows of one issue share an
+  // AR(1) chain and err together.
+  double z = 0.0;
+  if (sigma > 0.0) {
+    const std::int64_t issue_slot = issued_at / lead_resolution_s_;
+    const std::int64_t target_slot = t0 / lead_resolution_s_;
+    const std::int64_t lead_slots =
+        std::max<std::int64_t>(0, target_slot - issue_slot);
+    const auto innovation = [&](std::int64_t j) {
+      std::uint64_t key = mix_hash(
+          config_.seed, static_cast<std::uint64_t>(issue_slot + j));
+      key = mix_hash(key, static_cast<std::uint64_t>(j));
+      return unit_normal(key);
+    };
+    z = innovation(0);
+    const double rho = config_.ar1_rho;
+    const double mix = std::sqrt(1.0 - rho * rho);
+    for (std::int64_t j = 1; j <= lead_slots; ++j)
+      z = rho * z + mix * innovation(j);
+  }
+  // Multiplicative lognormal error with unit mean, shifted by the
+  // configured bias.
+  const double factor =
+      std::exp(sigma * z - 0.5 * sigma * sigma) * (1.0 + bias);
+  return std::max(0.0, truth * factor);
 }
 
 }  // namespace gm::energy

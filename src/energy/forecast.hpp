@@ -2,8 +2,12 @@
 // Renewable production forecasting as seen by the scheduler. The
 // perfect provider reads the deterministic source directly (the
 // lineage's "no prediction error" assumption); the noisy provider adds
-// a multiplicative error that grows with lead time, deterministic per
-// (seed, slot) so repeated queries agree.
+// a structured error — per-horizon bias plus AR(1)-correlated
+// multiplicative noise that grows with lead time — deterministic per
+// (seed, window, issue slot) so repeated queries agree while
+// re-forecasts of the same window revise as the issue time advances.
+// Policies plan on these forecasts; the engine always settles energy
+// on the underlying source's actuals.
 
 #include <cstdint>
 #include <memory>
@@ -45,18 +49,35 @@ struct NoisyForecastConfig {
   double error_at_1h = 0.05;
   /// Error grows with sqrt(lead hours) up to this cap.
   double error_cap = 0.5;
+  /// Relative bias at one hour of lead time (positive = systematic
+  /// over-forecast). Grows with sqrt(lead hours) like the noise, and
+  /// is clamped to +-error_cap. 0 disables the bias.
+  double bias_at_1h = 0.0;
+  /// AR(1) correlation between the noise of consecutive forecast
+  /// slots within one forecast issue, so adjacent windows err
+  /// together (a whole cloudy afternoon is mispredicted, not one
+  /// isolated hour). 0 = independent slots (legacy behavior).
+  double ar1_rho = 0.0;
+
+  void validate() const;
 };
 
 class NoisyForecast final : public ForecastProvider {
  public:
+  /// `lead_resolution_s` is the granularity at which the noise stream
+  /// is keyed — the engine passes its slot length, so re-forecasts of
+  /// a window revise once per slot even for sub-hourly slots (keying
+  /// on whole lead-hours made all issues inside an hour identical).
   NoisyForecast(std::shared_ptr<const PowerSource> source,
-                const NoisyForecastConfig& config);
+                const NoisyForecastConfig& config,
+                SimTime lead_resolution_s = 3600);
   Watts forecast_mean_w(SimTime issued_at, SimTime t0,
                         SimTime t1) const override;
 
  private:
   std::shared_ptr<const PowerSource> source_;
   NoisyForecastConfig config_;
+  SimTime lead_resolution_s_;
 };
 
 }  // namespace gm::energy

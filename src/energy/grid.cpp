@@ -32,13 +32,34 @@ GridConfig GridConfig::solar_heavy() {
   return c;
 }
 
+namespace {
+
+double event_multiplier(const std::vector<GridEvent>& events, SimTime t,
+                        double GridEvent::* field) {
+  double m = 1.0;
+  for (const GridEvent& e : events)
+    if (t >= e.start && t < e.end) m *= e.*field;
+  return m;
+}
+
+}  // namespace
+
+double GridConfig::carbon_g_per_kwh_at(SimTime t) const {
+  return carbon_g_per_kwh(calendar_of(t).hour) *
+         event_multiplier(events, t, &GridEvent::carbon_multiplier);
+}
+
+double GridConfig::price_usd_per_kwh_at(SimTime t) const {
+  return price_usd_per_kwh(calendar_of(t).hour) *
+         event_multiplier(events, t, &GridEvent::price_multiplier);
+}
+
 void GridMeter::draw(SimTime t, Joules e) {
   GM_CHECK(e >= 0.0, "grid draw must be non-negative: " << e);
-  const CalendarTime cal = calendar_of(t);
   const double kwh = j_to_kwh(e);
   total_j_ += e;
-  carbon_g_ += kwh * config_.carbon_g_per_kwh(cal.hour);
-  cost_usd_ += kwh * config_.price_usd_per_kwh(cal.hour);
+  carbon_g_ += kwh * config_.carbon_g_per_kwh_at(t);
+  cost_usd_ += kwh * config_.price_usd_per_kwh_at(t);
 }
 
 }  // namespace gm::energy

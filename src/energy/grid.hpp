@@ -1,15 +1,29 @@
 #pragma once
 // Grid ("brown") energy meter with optional time-of-day carbon
 // intensity and price profiles, so reports can state both kWh and the
-// carbon/cost consequences of a policy.
+// carbon/cost consequences of a policy. Windowed GridEvents (carbon
+// price spikes, dirty-peaker interventions) multiply the base profile
+// for their duration — the scenario engine generates them, the meter
+// and the carbon-aware planner both observe them.
 
 #include <string>
+#include <vector>
 
 #include "util/math_utils.hpp"
 #include "util/time_types.hpp"
 #include "util/units.hpp"
 
 namespace gm::energy {
+
+/// A windowed grid intervention: while `t` is in [start, end), the
+/// hour-of-day carbon/price profile is multiplied by these factors.
+/// Overlapping events compound.
+struct GridEvent {
+  SimTime start = 0;
+  SimTime end = 0;
+  double carbon_multiplier = 1.0;
+  double price_multiplier = 1.0;
+};
 
 struct GridConfig {
   /// Carbon intensity by hour of day, gCO2e per kWh. Default: flat
@@ -22,6 +36,15 @@ struct GridConfig {
   /// Preset name, carried so config_echo / run manifests can state
   /// which grid.profile reproduces a carbon-aware run.
   std::string profile = "flat";
+  /// Windowed carbon/price spike events layered on the profile
+  /// (scenario-generated; no kv form — the scenario.* generator keys
+  /// reproduce them deterministically).
+  std::vector<GridEvent> events;
+
+  /// Profile value at absolute sim time `t`: hour-of-day lookup times
+  /// the multipliers of every event window covering `t`.
+  double carbon_g_per_kwh_at(SimTime t) const;
+  double price_usd_per_kwh_at(SimTime t) const;
 
   /// Presets for the carbon-aware experiments.
   static GridConfig flat(double g_per_kwh = 300.0);
@@ -36,7 +59,8 @@ class GridMeter {
   GridMeter() = default;
   explicit GridMeter(GridConfig config) : config_(std::move(config)) {}
 
-  /// Records a draw of `e` joules during the hour-of-day containing t.
+  /// Records a draw of `e` joules at time t (hour-of-day profile plus
+  /// any active spike events).
   void draw(SimTime t, Joules e);
 
   Joules total_j() const { return total_j_; }

@@ -1,5 +1,7 @@
 #include "energy/supply.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 #include "util/csv.hpp"
 
@@ -60,6 +62,48 @@ ScaledSource::ScaledSource(std::shared_ptr<const PowerSource> base,
     : base_(std::move(base)), factor_(factor) {
   GM_CHECK(base_ != nullptr, "scaled source needs a base");
   GM_CHECK(factor_ >= 0.0, "scale factor must be non-negative");
+}
+
+ModulatedSource::ModulatedSource(std::shared_ptr<const PowerSource> base,
+                                 std::vector<ModulationWindow> windows)
+    : base_(std::move(base)), windows_(std::move(windows)) {
+  GM_CHECK(base_ != nullptr, "modulated source needs a base");
+  for (const auto& w : windows_) {
+    GM_CHECK(w.end > w.start, "modulation window must be non-empty");
+    GM_CHECK(w.factor >= 0.0,
+             "modulation factor must be non-negative: " << w.factor);
+  }
+}
+
+double ModulatedSource::factor_at(SimTime t) const {
+  double f = 1.0;
+  for (const auto& w : windows_)
+    if (t >= w.start && t < w.end) f *= w.factor;
+  return f;
+}
+
+Watts ModulatedSource::power_w(SimTime t) const {
+  return factor_at(t) * base_->power_w(t);
+}
+
+Joules ModulatedSource::energy_j(SimTime t0, SimTime t1,
+                                 SimTime resolution) const {
+  GM_CHECK(t1 >= t0, "energy interval must be ordered");
+  // Split [t0, t1) at every window boundary inside it; the factor is
+  // constant within each segment.
+  std::vector<SimTime> cuts{t0, t1};
+  for (const auto& w : windows_) {
+    if (w.start > t0 && w.start < t1) cuts.push_back(w.start);
+    if (w.end > t0 && w.end < t1) cuts.push_back(w.end);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  Joules total = 0.0;
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    if (cuts[i + 1] == cuts[i]) continue;
+    total += factor_at(cuts[i]) *
+             base_->energy_j(cuts[i], cuts[i + 1], resolution);
+  }
+  return total;
 }
 
 void CompositeSource::add(std::shared_ptr<const PowerSource> source) {

@@ -81,6 +81,34 @@ class ScaledSource final : public PowerSource {
   double factor_;
 };
 
+/// A time window during which a modulated source's output is scaled
+/// by `factor` (demand-response curtailment orders, inverter derates).
+/// Overlapping windows compound multiplicatively.
+struct ModulationWindow {
+  SimTime start = 0;
+  SimTime end = 0;
+  double factor = 1.0;
+};
+
+/// Scales another source by windowed factors: full output outside any
+/// window, `factor`-scaled inside. energy_j splits the interval at
+/// window boundaries, so window edges are exact rather than smoothed
+/// by the default trapezoid integration.
+class ModulatedSource final : public PowerSource {
+ public:
+  ModulatedSource(std::shared_ptr<const PowerSource> base,
+                  std::vector<ModulationWindow> windows);
+  Watts power_w(SimTime t) const override;
+  Joules energy_j(SimTime t0, SimTime t1,
+                  SimTime resolution = 60) const override;
+
+ private:
+  double factor_at(SimTime t) const;
+
+  std::shared_ptr<const PowerSource> base_;
+  std::vector<ModulationWindow> windows_;
+};
+
 /// Sum of several sources (solar farm + wind turbine).
 class CompositeSource final : public PowerSource {
  public:

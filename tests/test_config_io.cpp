@@ -263,5 +263,114 @@ TEST(ConfigIo, EchoBatteryTechnologyNamesEveryPreset) {
   EXPECT_EQ(echoed(config, "battery.technology"), "ideal");
 }
 
+// Regression: apply_config read forecast.error_at_1h but not
+// forecast.error_cap or forecast.seed (or the newer bias/AR(1) knobs),
+// so a manifest replay of a noisy-forecast run silently reverted those
+// to defaults.
+TEST(ConfigIo, ForecastNoiseKeysApplyAndEcho) {
+  auto config = core::ExperimentConfig::canonical();
+  core::apply_config(config, KeyValueConfig::parse(
+      "forecast.noisy = true\n"
+      "forecast.error_at_1h = 0.12\n"
+      "forecast.error_cap = 0.4\n"
+      "forecast.bias_at_1h = 0.08\n"
+      "forecast.ar1_rho = 0.7\n"
+      "forecast.seed = 4242\n"));
+  EXPECT_TRUE(config.noisy_forecast);
+  EXPECT_DOUBLE_EQ(config.forecast_noise.error_at_1h, 0.12);
+  EXPECT_DOUBLE_EQ(config.forecast_noise.error_cap, 0.4);
+  EXPECT_DOUBLE_EQ(config.forecast_noise.bias_at_1h, 0.08);
+  EXPECT_DOUBLE_EQ(config.forecast_noise.ar1_rho, 0.7);
+  EXPECT_EQ(config.forecast_noise.seed, 4242u);
+  EXPECT_DOUBLE_EQ(std::stod(echoed(config, "forecast.error_cap")), 0.4);
+  EXPECT_EQ(echoed(config, "forecast.seed"), "4242");
+  EXPECT_DOUBLE_EQ(std::stod(echoed(config, "forecast.ar1_rho")), 0.7);
+}
+
+// Regression: node-failure injections had no kv form at all, so no
+// failure experiment could be reproduced from its manifest.
+TEST(ConfigIo, FailureKeysApplyAndEcho) {
+  auto config = core::ExperimentConfig::canonical();
+  core::apply_config(config, KeyValueConfig::parse(
+      "failures.events = 3@7200@10800;5@9000@0\n"
+      "failures.repair_rate_bytes_per_s = 1.5e8\n"
+      "failures.repair_deadline_s = 43200\n"));
+  ASSERT_EQ(config.node_failures.size(), 2u);
+  EXPECT_EQ(config.node_failures[0].node, 3u);
+  EXPECT_EQ(config.node_failures[0].fail_at, 7200);
+  EXPECT_EQ(config.node_failures[0].recover_at, 10800);
+  EXPECT_EQ(config.node_failures[1].node, 5u);
+  EXPECT_EQ(config.node_failures[1].recover_at, 0);  // permanent
+  EXPECT_DOUBLE_EQ(config.repair_rate_bytes_per_s, 1.5e8);
+  EXPECT_DOUBLE_EQ(config.repair_deadline_s, 43200.0);
+  EXPECT_EQ(echoed(config, "failures.events"), "3@7200@10800;5@9000@0");
+
+  // Echo -> apply -> echo is a fixed point (audit's round-trip check
+  // relies on this for every key, including the event list).
+  auto replay = core::ExperimentConfig::canonical();
+  KeyValueConfig kv;
+  for (const auto& [k, v] : core::config_echo(config)) kv.set(k, v);
+  core::apply_config(replay, kv);
+  EXPECT_EQ(core::config_echo(replay), core::config_echo(config));
+}
+
+TEST(ConfigIo, FailureEventsRejectMalformedEntries) {
+  auto config = core::ExperimentConfig::canonical();
+  EXPECT_THROW(
+      core::apply_config(
+          config, KeyValueConfig::parse("failures.events = 3@7200\n")),
+      InvalidArgument);
+  EXPECT_THROW(
+      core::apply_config(
+          config,
+          KeyValueConfig::parse("failures.events = x@1@2\n")),
+      InvalidArgument);
+}
+
+TEST(ConfigIo, ScenarioKeysApplyAndEcho) {
+  auto config = core::ExperimentConfig::canonical();
+  core::apply_config(config, KeyValueConfig::parse(
+      "scenario.failure_process = weibull\n"
+      "scenario.mtbf_hours = 120\n"
+      "scenario.weibull_shape = 0.6\n"
+      "scenario.mttr_hours = 8\n"
+      "scenario.failure_seed = 42\n"
+      "scenario.spike_rate_per_day = 2\n"
+      "scenario.spike_carbon_x = 4\n"
+      "scenario.curtail_rate_per_day = 1.5\n"
+      "scenario.curtail_supply_fraction = 0.1\n"));
+  EXPECT_EQ(config.scenario.failures.process,
+            scenario::FailureProcess::kWeibull);
+  EXPECT_DOUBLE_EQ(config.scenario.failures.mtbf_hours, 120.0);
+  EXPECT_DOUBLE_EQ(config.scenario.failures.weibull_shape, 0.6);
+  EXPECT_EQ(config.scenario.failures.seed, 42u);
+  EXPECT_DOUBLE_EQ(config.scenario.grid_spikes.rate_per_day, 2.0);
+  EXPECT_DOUBLE_EQ(config.scenario.grid_spikes.carbon_multiplier, 4.0);
+  EXPECT_DOUBLE_EQ(config.scenario.curtailment.supply_fraction, 0.1);
+  EXPECT_EQ(echoed(config, "scenario.failure_process"), "weibull");
+  EXPECT_EQ(echoed(config, "scenario.spike_carbon_x"), "4");
+  EXPECT_TRUE(config.scenario.any());
+}
+
+TEST(ConfigIo, ScenarioRejectsBadValues) {
+  auto config = core::ExperimentConfig::canonical();
+  EXPECT_THROW(core::apply_config(
+                   config, KeyValueConfig::parse(
+                               "scenario.failure_process = lightning\n")),
+               InvalidArgument);
+  EXPECT_THROW(
+      core::apply_config(
+          config, KeyValueConfig::parse(
+                      "scenario.failure_process = poisson\n"
+                      "scenario.mtbf_hours = -1\n")),
+      InvalidArgument);
+  EXPECT_THROW(
+      core::apply_config(
+          config, KeyValueConfig::parse(
+                      "scenario.curtail_rate_per_day = 1\n"
+                      "scenario.curtail_supply_fraction = 1.5\n")),
+      InvalidArgument);
+}
+
 }  // namespace
 }  // namespace gm

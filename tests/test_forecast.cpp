@@ -1,0 +1,175 @@
+// Forecast-error model tests: unit-mean noise, cap enforcement,
+// per-horizon bias, AR(1) correlation across a forecast horizon, and
+// the sub-hourly revision regression (noise used to be keyed on whole
+// lead-hours, so all forecast issues inside one hour were identical).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "energy/forecast.hpp"
+#include "energy/supply.hpp"
+#include "util/assert.hpp"
+
+namespace gm::energy {
+namespace {
+
+constexpr Watts kTruth = 1000.0;
+
+std::shared_ptr<ConstantSource> truth_source() {
+  return std::make_shared<ConstantSource>(kTruth);
+}
+
+/// Relative log-error of the forecast for hour-slot `slot` as issued
+/// at `issued_at`.
+double log_error(const NoisyForecast& f, SimTime issued_at,
+                 std::int64_t slot) {
+  const SimTime t0 = slot * 3600;
+  return std::log(f.forecast_mean_w(issued_at, t0, t0 + 3600) / kTruth);
+}
+
+TEST(ForecastModel, UnitMeanWithAr1Noise) {
+  NoisyForecastConfig config;
+  config.error_at_1h = 0.15;
+  config.ar1_rho = 0.8;
+  NoisyForecast forecast(truth_source(), config);
+  double sum = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i)
+    sum += forecast.forecast_mean_w(static_cast<SimTime>(i) * 3600,
+                                    static_cast<SimTime>(i + 1) * 3600,
+                                    static_cast<SimTime>(i + 2) * 3600);
+  // The lognormal correction keeps E[forecast] = truth regardless of
+  // the correlation structure.
+  EXPECT_NEAR(sum / n, kTruth, 25.0);
+}
+
+TEST(ForecastModel, ErrorCapBoundsLongLeads) {
+  NoisyForecastConfig config;
+  config.error_at_1h = 0.2;
+  config.error_cap = 0.3;
+  NoisyForecast forecast(truth_source(), config);
+  // At 100 h of lead the uncapped sigma would be 2.0; the cap keeps the
+  // empirical log-error spread near 0.3.
+  double sq = 0.0;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    const double e = log_error(forecast, i * 3600, i + 100);
+    sq += e * e;
+  }
+  const double spread = std::sqrt(sq / n);
+  EXPECT_LT(spread, 0.45);
+  EXPECT_GT(spread, 0.2);
+}
+
+TEST(ForecastModel, BiasShiftsForecastDeterministically) {
+  NoisyForecastConfig config;
+  config.error_at_1h = 0.0;  // isolate the bias term
+  config.bias_at_1h = 0.1;
+  NoisyForecast forecast(truth_source(), config);
+  // sigma = 0: forecast = truth * (1 + bias_at_1h * sqrt(lead_h)).
+  EXPECT_NEAR(forecast.forecast_mean_w(0, 3600, 7200),
+              kTruth * 1.1, 1e-9);
+  EXPECT_NEAR(forecast.forecast_mean_w(0, 4 * 3600, 5 * 3600),
+              kTruth * 1.2, 1e-9);
+}
+
+TEST(ForecastModel, BiasClampedToErrorCap) {
+  NoisyForecastConfig config;
+  config.error_at_1h = 0.0;
+  config.bias_at_1h = 0.2;
+  config.error_cap = 0.5;
+  NoisyForecast forecast(truth_source(), config);
+  // At 100 h lead the raw bias would be 2.0; the cap clamps it to 0.5.
+  EXPECT_NEAR(forecast.forecast_mean_w(0, 100 * 3600, 101 * 3600),
+              kTruth * 1.5, 1e-9);
+}
+
+TEST(ForecastModel, Ar1CorrelatesConsecutiveHorizonSlots) {
+  const auto lag1_corr = [](double rho) {
+    NoisyForecastConfig config;
+    config.error_at_1h = 0.2;
+    config.error_cap = 10.0;  // keep sigma unclamped across the leads
+    config.ar1_rho = rho;
+    NoisyForecast forecast(truth_source(), config);
+    std::vector<double> a, b;
+    for (int issue = 0; issue < 400; ++issue) {
+      // Two consecutive windows of the same forecast issue.
+      a.push_back(log_error(forecast, issue * 3600, issue + 6));
+      b.push_back(log_error(forecast, issue * 3600, issue + 7));
+    }
+    double ma = 0.0, mb = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ma += a[i];
+      mb += b[i];
+    }
+    ma /= a.size();
+    mb /= b.size();
+    double cov = 0.0, va = 0.0, vb = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      cov += (a[i] - ma) * (b[i] - mb);
+      va += (a[i] - ma) * (a[i] - ma);
+      vb += (b[i] - mb) * (b[i] - mb);
+    }
+    return cov / std::sqrt(va * vb);
+  };
+  // Independent slots decorrelate; rho = 0.9 errs together.
+  EXPECT_LT(std::abs(lag1_corr(0.0)), 0.25);
+  EXPECT_GT(lag1_corr(0.9), 0.6);
+}
+
+// Regression: the noise key used to truncate the lead to whole hours,
+// so with sub-hourly slots every forecast issued inside the same hour
+// returned the same value — forecasts never revised between slots.
+// Keying at the engine's slot resolution restores revisions while
+// keeping (seed, window, issue slot) determinism.
+TEST(ForecastModel, SubHourlyIssuesReviseTheForecast) {
+  NoisyForecastConfig config;
+  config.error_at_1h = 0.2;
+  NoisyForecast forecast(truth_source(), config,
+                         /*lead_resolution_s=*/900);
+  const SimTime window = 2 * 3600;  // forecast target
+  const Watts at_0 = forecast.forecast_mean_w(0, window, window + 900);
+  const Watts at_15 =
+      forecast.forecast_mean_w(900, window, window + 900);
+  const Watts at_30 =
+      forecast.forecast_mean_w(1800, window, window + 900);
+  EXPECT_NE(at_0, at_15);
+  EXPECT_NE(at_15, at_30);
+  // Same issue slot, repeated query: bit-identical.
+  EXPECT_DOUBLE_EQ(
+      at_15, forecast.forecast_mean_w(900, window, window + 900));
+}
+
+TEST(ForecastModel, DeterministicAcrossInstances) {
+  NoisyForecastConfig config;
+  config.error_at_1h = 0.1;
+  config.ar1_rho = 0.5;
+  config.bias_at_1h = 0.05;
+  NoisyForecast a(truth_source(), config);
+  NoisyForecast b(truth_source(), config);
+  for (int i = 0; i < 24; ++i)
+    EXPECT_DOUBLE_EQ(log_error(a, 0, i + 1), log_error(b, 0, i + 1));
+  config.seed = 123;  // different seed, different stream
+  NoisyForecast c(truth_source(), config);
+  EXPECT_NE(log_error(a, 0, 6), log_error(c, 0, 6));
+}
+
+TEST(ForecastModel, ValidatesConfig) {
+  NoisyForecastConfig config;
+  config.ar1_rho = 1.0;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+  config.ar1_rho = 0.0;
+  config.error_cap = 0.0;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+  config.error_cap = 0.5;
+  config.bias_at_1h = -1.0;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+  config.bias_at_1h = 0.0;
+  config.error_at_1h = -0.1;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gm::energy

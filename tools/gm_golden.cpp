@@ -1,9 +1,12 @@
 // gm_golden — golden-output regression harness (docs/correctness.md).
 //
-//   gm_golden [--dir=PATH] [--case=SUBSTR] [--list] [--update]
+//   gm_golden [--dir=PATH] [--scenarios=PATH] [--case=SUBSTR]
+//             [--list] [--update]
 //
 // Runs a fixed corpus of canonical configurations (three policies ×
-// battery presets × wind/MAID/carbon variants), renders each run to a
+// battery presets × wind/MAID/carbon variants) plus one case per
+// checked-in scenario pack config (configs/scenarios/*.conf, named
+// scenario-<stem> — see docs/scenarios.md), renders each run to a
 // normalized text form (config echo + run summary + per-slot ledger
 // CSV at full round-trip precision) and diffs it against the
 // checked-in file tests/golden/<case>.txt. Any drift — an energy
@@ -28,6 +31,7 @@
 // Exit codes: 0 all green, 2 usage error, 3 golden mismatch or
 // missing file, 4 audit/round-trip failure.
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -45,7 +49,10 @@ namespace {
 struct GoldenCase {
   std::string name;
   /// key=value overrides applied on top of the canonical config.
-  std::vector<std::pair<std::string, std::string>> overrides;
+  std::vector<std::pair<std::string, std::string>> overrides{};
+  /// When non-empty, the case is a scenario pack config file loaded
+  /// with config_from_file instead of the overrides above.
+  std::string conf_path{};
 };
 
 /// The corpus. Two simulated days keep each case under a second while
@@ -96,12 +103,35 @@ std::vector<GoldenCase> golden_cases() {
 }
 
 gm::core::ExperimentConfig build_config(const GoldenCase& c) {
+  if (!c.conf_path.empty())
+    return gm::core::config_from_file(c.conf_path);
   gm::core::ExperimentConfig config =
       gm::core::ExperimentConfig::canonical();
   gm::KeyValueConfig kv;
   for (const auto& [key, value] : c.overrides) kv.set(key, value);
   gm::core::apply_config(config, kv);
   return config;
+}
+
+/// One case per *.conf in the scenario pack directory, name
+/// scenario-<stem>, sorted for a stable corpus order. A missing
+/// directory yields no cases (the built-in corpus still runs).
+std::vector<GoldenCase> scenario_cases(const std::string& dir) {
+  std::vector<GoldenCase> cases;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() != ".conf") continue;
+    GoldenCase c;
+    c.name = "scenario-" + entry.path().stem().string();
+    c.conf_path = entry.path().string();
+    cases.push_back(std::move(c));
+  }
+  std::sort(cases.begin(), cases.end(),
+            [](const GoldenCase& a, const GoldenCase& b) {
+              return a.name < b.name;
+            });
+  return cases;
 }
 
 /// The normalized text form a case is diffed in. Everything printed is
@@ -180,6 +210,7 @@ bool diff_report(const std::string& expected,
 
 int main(int argc, char** argv) {
   std::string dir = "tests/golden";
+  std::string scenarios_dir = "configs/scenarios";
   std::string filter;
   bool update = false;
   bool list = false;
@@ -191,11 +222,13 @@ int main(int argc, char** argv) {
       list = true;
     } else if (arg.rfind("--dir=", 0) == 0) {
       dir = arg.substr(6);
+    } else if (arg.rfind("--scenarios=", 0) == 0) {
+      scenarios_dir = arg.substr(12);
     } else if (arg.rfind("--case=", 0) == 0) {
       filter = arg.substr(7);
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: gm_golden [--dir=PATH] [--case=SUBSTR] "
-                   "[--list] [--update]\n";
+      std::cout << "usage: gm_golden [--dir=PATH] [--scenarios=PATH] "
+                   "[--case=SUBSTR] [--list] [--update]\n";
       return 0;
     } else {
       std::cerr << "error: unexpected argument '" << arg << "'\n";
@@ -203,7 +236,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  const auto cases = golden_cases();
+  auto cases = golden_cases();
+  for (auto& c : scenario_cases(scenarios_dir))
+    cases.push_back(std::move(c));
   if (list) {
     for (const auto& c : cases) std::cout << c.name << "\n";
     return 0;
