@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <climits>
 #include <cmath>
@@ -87,6 +88,13 @@ GreenMatchPolicy::GreenMatchPolicy(int horizon_slots, bool greedy,
       battery_aware_(battery_aware),
       carbon_aware_(carbon_aware) {
   GM_CHECK(horizon_slots >= 1, "horizon must be >= 1");
+}
+
+void GreenMatchPolicy::set_solver(MinCostFlow::SolverKind kind) {
+  flow_.set_solver(kind);
+  // Johnson warm potentials belong to the SSP path; drop any retained
+  // ones so a later switch back starts from a clean cold solve.
+  have_potentials_ = false;
 }
 
 double GreenMatchPolicy::horizon_carbon_mean(const SlotContext& ctx) const {
@@ -315,10 +323,23 @@ SlotDecision GreenMatchPolicy::plan_flow(const SlotContext& ctx) {
         static_cast<std::uint32_t>(i));
   }
   const int n_classes = static_cast<int>(classes_.size());
+  const bool cost_scaling =
+      flow_.solver() == MinCostFlow::SolverKind::kCostScaling;
 
-  // Node layout.
+  // Node layout. Under the cost-scaling solver the class range is
+  // padded to a stable bucket (min 64, then powers of two): the
+  // slot/green/battery/sink node indices then survive the slot-to-slot
+  // jitter in the number of distinct signatures, which is what lets
+  // the solver's incremental patch match arcs by endpoint instead of
+  // rebuilding cold every slot. Padded nodes carry no arcs, and the
+  // default SSP network is byte-identical to previous releases.
+  const int class_space =
+      cost_scaling
+          ? static_cast<int>(std::bit_ceil(
+                std::max<unsigned>(64u, static_cast<unsigned>(n_classes))))
+          : n_classes;
   const int source = 0;
-  const int slot_base = n_classes + 1;
+  const int slot_base = class_space + 1;
   const int g_base = slot_base + h;
   const int b_base = g_base + h;            // B_0 .. B_h (h+1 nodes)
   const int beyond = b_base + (battery ? h + 1 : 0);
@@ -409,18 +430,22 @@ SlotDecision GreenMatchPolicy::plan_flow(const SlotContext& ctx) {
 
   // The battery chain's capacities depend on the projected state of
   // charge, which the shifted-potential construction cannot bound, so
-  // warm starts are limited to the (default) supply-only network.
+  // warm starts are limited to the (default) supply-only network. The
+  // cost-scaling solver replaces warm potentials wholesale with
+  // incremental re-optimization (it retains prices *and* flow inside
+  // the solver), so the Johnson-potential path is skipped entirely.
   MinCostFlow::Result solved;
   bool warm = false;
-  if (!battery && build_warm_potentials(ctx, n_classes, h, slot_base,
-                                        g_base, beyond, sink)) {
+  if (!battery && !cost_scaling &&
+      build_warm_potentials(ctx, n_classes, h, slot_base, g_base,
+                            beyond, sink)) {
     const auto accepts_before = flow.warm_accepts();
     solved = flow.solve(source, sink, total_units, warm_scratch_);
     warm = flow.warm_accepts() > accepts_before;
   } else {
     solved = flow.solve(source, sink, total_units);
   }
-  if (battery)
+  if (battery || cost_scaling)
     have_potentials_ = false;
   else
     store_potentials(ctx, h, slot_base, g_base, beyond, sink);
@@ -435,6 +460,13 @@ SlotDecision GreenMatchPolicy::plan_flow(const SlotContext& ctx) {
     solver_totals_.dijkstra_pops += st.dijkstra_pops;
     solver_totals_.dijkstra_relaxations += st.dijkstra_relaxations;
     solver_totals_.augmenting_paths += st.augmenting_paths;
+    solver_totals_.cs_phases += st.cs_phases;
+    solver_totals_.cs_pushes += st.cs_pushes;
+    solver_totals_.cs_relabels += st.cs_relabels;
+    solver_totals_.cs_price_refinements += st.cs_price_refinements;
+    solver_totals_.cs_global_updates += st.cs_global_updates;
+    solver_totals_.incremental_accepts += st.incremental_accepts;
+    solver_totals_.incremental_rebuilds += st.incremental_rebuilds;
     solver_totals_.arena_bytes_peak =
         std::max(solver_totals_.arena_bytes_peak, st.arena_bytes);
   }
@@ -496,7 +528,8 @@ SlotDecision GreenMatchPolicy::plan_flow(const SlotContext& ctx) {
                           static_cast<int>(n_tasks),
                           n_classes,
                           sink + 1,
-                          warm};
+                          warm,
+                          flow_.last_stats().incremental_accepts > 0};
 
   // Decision provenance: one record per pending task, attributing its
   // fate to the solved network. Opt-in (--provenance) because this

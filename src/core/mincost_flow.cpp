@@ -62,6 +62,8 @@ std::uint64_t MinCostFlow::arena_bytes() const {
   bytes += radix_buckets_.capacity() * sizeof(radix_buckets_[0]);
   for (const auto& bucket : radix_buckets_)
     bytes += bucket.capacity() * sizeof(bucket[0]);
+  bytes += scaling_.bytes();
+  bytes += ext_arcs_.capacity() * sizeof(ext_arcs_[0]);
   return bytes;
 }
 
@@ -79,6 +81,10 @@ MinCostFlow::Result MinCostFlow::solve(NodeIdx s, NodeIdx t,
   GM_CHECK(s >= 0 && s < node_count() && t >= 0 && t < node_count(),
            "flow terminal out of range");
   GM_CHECK(s != t, "source equals sink");
+  if (solver_ == SolverKind::kCostScaling) {
+    begin_stats(/*warm=*/false);
+    return run_cost_scaling(s, t, max_flow);
+  }
   potential_.assign(graph_.size(), 0);  // valid: costs >= 0
   begin_stats(/*warm=*/false);
   return run_ssp(s, t, max_flow);
@@ -91,6 +97,14 @@ MinCostFlow::Result MinCostFlow::solve(
   GM_CHECK(s >= 0 && s < node_count() && t >= 0 && t < node_count(),
            "flow terminal out of range");
   GM_CHECK(s != t, "source equals sink");
+  if (solver_ == SolverKind::kCostScaling) {
+    // Johnson potentials are an SSP concept; the cost-scaling path
+    // retains its own prices across solves (incremental
+    // re-optimization), so the seed is ignored without touching the
+    // warm-start counters.
+    begin_stats(/*warm=*/false);
+    return run_cost_scaling(s, t, max_flow);
+  }
   // The seam of the warm start: the invariant every Dijkstra below
   // relies on is checked here, once, over the whole residual network.
   // A stale seed (network changed shape, costs moved) degrades to the

@@ -31,6 +31,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/mincost_flow_scaling.hpp"
+
 namespace gm::core {
 
 class MinCostFlow {
@@ -42,6 +44,14 @@ class MinCostFlow {
   enum class QueueKind : std::uint8_t {
     kBinaryHeap = 0,  ///< explicit binary heap, (dist, node) tiebreak
     kRadix,           ///< monotone radix heap (small-integer costs)
+  };
+
+  /// Which algorithm solve() runs. Both return an exact minimum-cost
+  /// maximum flow (same flow value, same objective); which of several
+  /// equal-cost optima is returned may differ, as with QueueKind.
+  enum class SolverKind : std::uint8_t {
+    kSuccessiveShortestPath = 0,  ///< Dijkstra + Johnson potentials
+    kCostScaling,  ///< ε-scaling push-relabel (mincost_flow_scaling)
   };
 
   explicit MinCostFlow(int node_count);
@@ -76,8 +86,21 @@ class MinCostFlow {
     std::uint64_t augmenting_paths = 0;
     bool warm = false;            ///< warm potentials accepted
     /// Bytes of solver scratch held across solves (the reset() arena):
-    /// adjacency storage, potentials, labels, heap and radix buckets.
+    /// adjacency storage, potentials, labels, heap and radix buckets,
+    /// and the cost-scaling core's retained residual network.
     std::uint64_t arena_bytes = 0;
+    // Cost-scaling fields, zero under kSuccessiveShortestPath (see
+    // docs/solver.md for the glossary):
+    std::uint64_t cs_phases = 0;    ///< ε-phases walked by the ladder
+    std::uint64_t cs_pushes = 0;
+    std::uint64_t cs_relabels = 0;
+    std::uint64_t cs_price_refinements = 0;  ///< phases skipped by B-F
+    std::uint64_t cs_global_updates = 0;     ///< Dial re-anchorings
+    std::uint64_t cs_arcs_fixed = 0;  ///< arc pairs fixed at exit
+    /// 1 if this solve re-refined a patched residual network / 1 if it
+    /// (re)built cold. Lifetime sums: incremental_accepts()/rebuilds().
+    std::uint64_t incremental_accepts = 0;
+    std::uint64_t incremental_rebuilds = 0;
   };
 
   const SolveStats& last_stats() const { return last_stats_; }
@@ -110,9 +133,45 @@ class MinCostFlow {
   void set_queue(QueueKind kind) { queue_ = kind; }
   QueueKind queue() const { return queue_; }
 
+  /// Selects the solving algorithm. Switching kinds drops any retained
+  /// cost-scaling state, so the next kCostScaling solve builds cold.
+  void set_solver(SolverKind kind) {
+    if (kind != solver_) scaling_.invalidate();
+    solver_ = kind;
+  }
+  SolverKind solver() const { return solver_; }
+
+  /// Incremental re-optimization (kCostScaling only, default on): a
+  /// solve diffs the freshly built network against the residual state
+  /// retained from the previous solve and, when the topology diff is
+  /// small, patches it in place and re-refines from retained prices
+  /// instead of rebuilding — the cost-scaling analogue of the SSP warm
+  /// start, but it also reuses the flow, not just the potentials.
+  /// reset()/add_edge() stay oblivious: the diff happens inside
+  /// solve(), keyed on arc endpoints, so the planner's rebuild-every-
+  /// slot pattern works unchanged. Fallback to a cold build is
+  /// automatic (shape change, large diff, or pathological patch).
+  void set_incremental(bool on) { incremental_ = on; }
+  bool incremental() const { return incremental_; }
+
   /// Warm-start bookkeeping across the lifetime of this instance.
   std::uint64_t warm_accepts() const { return warm_accepts_; }
   std::uint64_t warm_rejects() const { return warm_rejects_; }
+
+  /// Incremental-reoptimization bookkeeping (lifetime sums of the
+  /// per-solve SolveStats flags; both zero under SSP).
+  std::uint64_t incremental_accepts() const {
+    return incremental_accepts_;
+  }
+  std::uint64_t incremental_rebuilds() const {
+    return incremental_rebuilds_;
+  }
+
+  /// Test-only: forwards to CostScalingCore::set_test_relabel_limit to
+  /// force the patched-solve budget-abort → cold-rebuild path.
+  void set_test_relabel_limit(std::uint64_t limit) {
+    scaling_.set_test_relabel_limit(limit);
+  }
 
   /// Flow currently on edge `edge_index` (after solve).
   long long flow_on(int edge_index) const;
@@ -128,6 +187,8 @@ class MinCostFlow {
   };
 
   Result run_ssp(NodeIdx s, NodeIdx t, long long max_flow);
+  /// kCostScaling path, defined in mincost_flow_scaling.cpp.
+  Result run_cost_scaling(NodeIdx s, NodeIdx t, long long max_flow);
   bool dijkstra_binary(NodeIdx s, NodeIdx t);
   bool dijkstra_radix(NodeIdx s, NodeIdx t);
   /// Resets last_stats_ and fills the per-solve network/arena fields.
@@ -142,9 +203,18 @@ class MinCostFlow {
   std::vector<std::pair<NodeIdx, int>> edge_refs_;
 
   QueueKind queue_ = QueueKind::kBinaryHeap;
+  SolverKind solver_ = SolverKind::kSuccessiveShortestPath;
+  bool incremental_ = true;  ///< only consulted under kCostScaling
   std::uint64_t warm_accepts_ = 0;
   std::uint64_t warm_rejects_ = 0;
+  std::uint64_t incremental_accepts_ = 0;
+  std::uint64_t incremental_rebuilds_ = 0;
   SolveStats last_stats_;
+
+  /// Retained cost-scaling state (survives reset() on purpose — the
+  /// incremental diff happens against it) plus the gather scratch.
+  CostScalingCore scaling_;
+  std::vector<CostScalingCore::ExtArc> ext_arcs_;
 
   // Solver scratch, reused across solve() calls (see reset()).
   std::vector<long long> potential_;

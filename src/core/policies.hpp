@@ -91,6 +91,7 @@ class GreenMatchPolicy final : public SchedulerPolicy {
     int classes = 0;           ///< distinct task signatures
     int network_nodes = 0;     ///< nodes in the flow network
     bool warm_start = false;   ///< previous potentials were accepted
+    bool incremental = false;  ///< solve patched the retained network
   };
   const PlanStats& last_plan_stats() const { return plan_stats_; }
 
@@ -101,9 +102,28 @@ class GreenMatchPolicy final : public SchedulerPolicy {
   void set_aggregation(bool on) { aggregate_ = on; }
   bool aggregation() const { return aggregate_; }
 
+  /// Swaps the min-cost flow algorithm under the planner (see
+  /// MinCostFlow::SolverKind and docs/solver.md). kCostScaling enables
+  /// incremental re-optimization between slots and pads the class node
+  /// range so consecutive plans keep a stable node layout; the default
+  /// SSP path is byte-identical to previous releases. Test/bench-only:
+  /// reachable via PolicyConfig::cost_scaling_planner, not the
+  /// config-file key space.
+  void set_solver(MinCostFlow::SolverKind kind);
+  MinCostFlow::SolverKind solver() const { return flow_.solver(); }
+
   /// Warm-start acceptance counters of the underlying solver.
   std::uint64_t warm_accepts() const { return flow_.warm_accepts(); }
   std::uint64_t warm_rejects() const { return flow_.warm_rejects(); }
+
+  /// Incremental re-optimization counters of the underlying solver
+  /// (zero under the default SSP solver).
+  std::uint64_t incremental_accepts() const {
+    return flow_.incremental_accepts();
+  }
+  std::uint64_t incremental_rebuilds() const {
+    return flow_.incremental_rebuilds();
+  }
 
   /// Cumulative solver work across every plan_flow solve of this
   /// policy's lifetime — the run-level view of
@@ -116,6 +136,14 @@ class GreenMatchPolicy final : public SchedulerPolicy {
     std::uint64_t dijkstra_relaxations = 0;
     std::uint64_t augmenting_paths = 0;
     std::uint64_t arena_bytes_peak = 0;
+    // Cost-scaling work (zero under the default SSP solver):
+    std::uint64_t cs_phases = 0;
+    std::uint64_t cs_pushes = 0;
+    std::uint64_t cs_relabels = 0;
+    std::uint64_t cs_price_refinements = 0;
+    std::uint64_t cs_global_updates = 0;
+    std::uint64_t incremental_accepts = 0;
+    std::uint64_t incremental_rebuilds = 0;
   };
   const SolverTotals& solver_totals() const { return solver_totals_; }
   /// Per-solve stats of the most recent plan_flow (classes stamped).

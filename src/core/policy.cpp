@@ -57,6 +57,8 @@ std::unique_ptr<SchedulerPolicy> make_policy(const PolicyConfig& config) {
           config.replan_every_slot, config.battery_aware,
           config.carbon_aware);
       policy->set_aggregation(config.aggregate_planner);
+      if (config.cost_scaling_planner)
+        policy->set_solver(MinCostFlow::SolverKind::kCostScaling);
       return policy;
     }
     case PolicyKind::kGreenMatchGreedy:

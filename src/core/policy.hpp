@@ -153,6 +153,14 @@ struct PolicyConfig {
   /// config-file key space (see test_leak_j_per_slot for the
   /// precedent).
   bool aggregate_planner = true;
+  /// GreenMatch: solve the matching with the cost-scaling push-relabel
+  /// solver (incremental re-optimization between slots) instead of the
+  /// default successive-shortest-path solver. Both return the same
+  /// objective (see docs/solver.md and test_planner_equivalence); the
+  /// knob exists for benches and equivalence tests and, like
+  /// aggregate_planner, is deliberately NOT reachable from the
+  /// config-file key space.
+  bool cost_scaling_planner = false;
 
   void validate() const;
 };

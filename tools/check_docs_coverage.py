@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Checks that every src/ subsystem is referenced from the docs.
+
+Companion to check_md_links.py (which checks that links resolve; this
+checks that the docs actually cover the tree). Every immediate
+subdirectory of src/ — util, core, metrics, ... — must be mentioned as
+`src/<name>` somewhere in at least one docs/*.md page, so a new
+subsystem cannot land without at least a pointer from the docs, and a
+renamed one cannot leave stale coverage behind unnoticed. Mentions
+inside code fences count: docs routinely cite subsystem paths in
+command and layout listings, and those are coverage too.
+
+Exits non-zero listing every uncovered subsystem. Stdlib only, so CI
+needs nothing but python3.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    subsystems = sorted(
+        p.name for p in (root / "src").iterdir() if p.is_dir())
+    docs = sorted((root / "docs").glob("*.md"))
+    if not subsystems or not docs:
+        print("nothing to check (no src/ subdirs or no docs/*.md)")
+        return 1
+
+    text = "\n".join(d.read_text(encoding="utf-8") for d in docs)
+    uncovered = [
+        name for name in subsystems
+        # `src/<name>` followed by a path separator, word boundary, or
+        # end — so src/sim does not count as coverage of src/simXYZ.
+        if not re.search(rf"src/{re.escape(name)}\b", text)
+    ]
+    if uncovered:
+        print("src/ subsystems not referenced by any docs/*.md page:")
+        for name in uncovered:
+            print(f"  src/{name}/")
+        print("add at least a pointer (docs/architecture.md lists the "
+              "subsystem map)")
+        return 1
+    print(f"{len(subsystems)} src/ subsystems covered by "
+          f"{len(docs)} docs pages")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

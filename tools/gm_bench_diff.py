@@ -15,9 +15,13 @@ a record counts as a median when its bench name carries the
 google-benchmark `_median` aggregate suffix (or `_median` embedded
 before the `/iterations:N` suffix), or when its metric name ends in
 `_median` (the convention the checked-in `*_pre_prN_median` baseline
-records use). Mean/stddev/cv rows and unmatched pairs are ignored, so
-a baseline file with extra benches diffs cleanly against a filtered
-CI run.
+records use). Mean/stddev/cv rows are ignored. Median rows present in
+only one of the two files are not compared, but they are no longer
+silently dropped either: they get their own "unmatched" section after
+the delta table, so a renamed bench (baseline orphaned) or a new bench
+(no baseline yet) is visible in the report. The unmatched section is
+informational and never affects the exit code, so a baseline file with
+extra benches still diffs cleanly against a filtered CI run.
 
 Exit code is 0 even when deltas are flagged: shared CI runners are too
 noisy to gate on wall-clock thresholds (docs/performance.md), so this
@@ -61,6 +65,18 @@ def median_rows(records):
     return rows
 
 
+def print_unmatched(base_only, cur_only):
+    """Lists median rows found in only one report (never a gate)."""
+    if not base_only and not cur_only:
+        return
+    print(f"\nunmatched ({len(base_only) + len(cur_only)} median rows "
+          "in only one report):")
+    for bench, metric in base_only:
+        print(f"  baseline only: {bench} {metric}")
+    for bench, metric in cur_only:
+        print(f"  current only:  {bench} {metric}")
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="join two bench reports on (bench, metric) and "
@@ -78,8 +94,11 @@ def main(argv=None):
     base = median_rows(load_records(args.baseline))
     cur = median_rows(load_records(args.current))
     joined = sorted(set(base) & set(cur))
+    base_only = sorted(set(base) - set(cur))
+    cur_only = sorted(set(cur) - set(base))
     if not joined:
         print("no common (bench, metric) median rows; nothing to diff")
+        print_unmatched(base_only, cur_only)
         return 0
 
     flagged = regressions = 0
@@ -103,6 +122,7 @@ def main(argv=None):
 
     print(f"\n{len(joined)} compared, {flagged} beyond "
           f"{args.threshold:.0%} ({regressions} slower)")
+    print_unmatched(base_only, cur_only)
     return 1 if args.fail_on_regression and regressions else 0
 
 

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Unit tests for gm_bench_diff.py (run under ctest as a stdlib-only
+python test — no pytest).
+
+Focus: the join/report behavior, in particular the PR 8 fix for
+benchmarks present in only one report. Those used to be dropped from
+the output entirely, which made a renamed bench look like a clean diff;
+now they are listed in a non-gating "unmatched" section.
+"""
+
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import gm_bench_diff  # noqa: E402  (path set up above)
+
+
+def record(bench, metric, value):
+    return {"bench": bench, "metric": metric, "value": value,
+            "unit": "ns", "wall_ms": 0, "git_sha": "test"}
+
+
+class GmBenchDiffTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self._tmp.cleanup)
+
+    def write_report(self, name, records):
+        path = os.path.join(self._tmp.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(records, f)
+        return path
+
+    def run_diff(self, argv):
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            code = gm_bench_diff.main(argv)
+        return code, out.getvalue()
+
+    # ---- median-row selection --------------------------------------
+
+    def test_median_rows_accepts_all_three_conventions(self):
+        rows = gm_bench_diff.median_rows([
+            record("BM_A_median", "real_time", 1.0),
+            record("BM_B_median/iterations:1", "real_time", 2.0),
+            record("BM_C", "plan_ms_pre_pr5_median", 3.0),
+            record("BM_D_mean", "real_time", 4.0),      # not a median
+            record("BM_E_stddev", "real_time", 5.0),    # not a median
+        ])
+        self.assertEqual(
+            set(rows),
+            {("BM_A_median", "real_time"),
+             ("BM_B_median/iterations:1", "real_time"),
+             ("BM_C", "plan_ms_pre_pr5_median")})
+
+    # ---- matched join ----------------------------------------------
+
+    def test_flags_regression_beyond_threshold(self):
+        base = self.write_report("base.json", [
+            record("BM_A_median", "real_time", 100.0)])
+        cur = self.write_report("cur.json", [
+            record("BM_A_median", "real_time", 150.0)])
+        code, out = self.run_diff([base, cur])
+        self.assertEqual(code, 0)  # report-only by default
+        self.assertIn("<-- slower", out)
+        self.assertIn("1 compared, 1 beyond", out)
+
+    def test_fail_on_regression_gates(self):
+        base = self.write_report("base.json", [
+            record("BM_A_median", "real_time", 100.0)])
+        cur = self.write_report("cur.json", [
+            record("BM_A_median", "real_time", 150.0)])
+        code, _ = self.run_diff(["--fail-on-regression", base, cur])
+        self.assertEqual(code, 1)
+
+    def test_per_second_metrics_are_higher_is_better(self):
+        base = self.write_report("base.json", [
+            record("BM_A_median", "items_per_second", 100.0)])
+        cur = self.write_report("cur.json", [
+            record("BM_A_median", "items_per_second", 150.0)])
+        code, out = self.run_diff(["--fail-on-regression", base, cur])
+        self.assertEqual(code, 0)
+        self.assertIn("<-- faster", out)
+
+    # ---- unmatched section (the PR 8 bugfix) -----------------------
+
+    def test_unmatched_benches_are_reported_not_dropped(self):
+        base = self.write_report("base.json", [
+            record("BM_Shared_median", "real_time", 100.0),
+            record("BM_Renamed_median", "real_time", 7.0)])
+        cur = self.write_report("cur.json", [
+            record("BM_Shared_median", "real_time", 101.0),
+            record("BM_Brand_New_median", "real_time", 9.0)])
+        code, out = self.run_diff([base, cur])
+        self.assertEqual(code, 0)
+        self.assertIn("unmatched (2 median rows in only one report):",
+                      out)
+        self.assertIn("baseline only: BM_Renamed_median real_time", out)
+        self.assertIn("current only:  BM_Brand_New_median real_time",
+                      out)
+
+    def test_unmatched_section_is_not_a_gate(self):
+        base = self.write_report("base.json", [
+            record("BM_Shared_median", "real_time", 100.0),
+            record("BM_Gone_median", "real_time", 7.0)])
+        cur = self.write_report("cur.json", [
+            record("BM_Shared_median", "real_time", 100.0)])
+        code, _ = self.run_diff(["--fail-on-regression", base, cur])
+        self.assertEqual(code, 0)
+
+    def test_disjoint_reports_list_everything_unmatched(self):
+        base = self.write_report("base.json", [
+            record("BM_Old_median", "real_time", 1.0)])
+        cur = self.write_report("cur.json", [
+            record("BM_New_median", "real_time", 2.0)])
+        code, out = self.run_diff([base, cur])
+        self.assertEqual(code, 0)
+        self.assertIn("no common (bench, metric) median rows", out)
+        self.assertIn("baseline only: BM_Old_median real_time", out)
+        self.assertIn("current only:  BM_New_median real_time", out)
+
+    def test_fully_matched_reports_emit_no_unmatched_section(self):
+        base = self.write_report("base.json", [
+            record("BM_A_median", "real_time", 100.0)])
+        cur = self.write_report("cur.json", [
+            record("BM_A_median", "real_time", 100.0)])
+        _, out = self.run_diff([base, cur])
+        self.assertNotIn("unmatched", out)
+
+    # ---- input formats ---------------------------------------------
+
+    def test_reads_raw_jsonl(self):
+        path = os.path.join(self._tmp.name, "report.jsonl")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(json.dumps(record("BM_A_median", "real_time", 3.0)))
+            f.write("\n")
+            f.write(json.dumps(record("BM_A_mean", "real_time", 4.0)))
+            f.write("\n")
+        rows = gm_bench_diff.median_rows(
+            gm_bench_diff.load_records(path))
+        self.assertEqual(rows, {("BM_A_median", "real_time"): 3.0})
+
+
+if __name__ == "__main__":
+    unittest.main()
