@@ -220,6 +220,41 @@ BENCHMARK(BM_GreenMatchPlanWeekCostScaling)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
+// The scale ladder through the sharded planner (scheduler.shards = 8,
+// the PR9 tentpole): eight per-shard flow networks per slot plus the
+// green-headroom reconciliation pass, instead of one fleet-wide
+// network. plan_ms_per_run is directly comparable against
+// BM_GreenMatchPlanWeek at the same Arg — the sharding win is the
+// superlinear term of the flat solve, so it grows with the tier;
+// reconciliation_solves_per_run shows how often the residual pass had
+// cross-shard headroom worth a re-solve.
+void BM_GreenMatchPlanWeekSharded(benchmark::State& state) {
+  auto config = massive_fleet_config(static_cast<int>(state.range(0)));
+  config.policy.shards = 8;
+  gm::bench::use_shared_workload(config);
+  double plan_ms = 0.0;
+  double reconciliations = 0.0;
+  for (auto _ : state) {
+    const auto artifacts = core::run_experiment(config);
+    const auto& r = artifacts.result;
+    plan_ms += r.scheduler.plan_solve_ms_total;
+    reconciliations +=
+        static_cast<double>(r.scheduler.reconciliation_solves);
+    benchmark::DoNotOptimize(r.scheduler.plan_solve_ms_total);
+  }
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["plan_ms_per_run"] =
+      benchmark::Counter(plan_ms / iters);
+  state.counters["reconciliation_solves_per_run"] =
+      benchmark::Counter(reconciliations / iters);
+}
+BENCHMARK(BM_GreenMatchPlanWeekSharded)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(80)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
 // Cost of GM_OBS_SCOPE when no recorder is installed: one
 // thread-local read and a branch. Guards the <2% overhead budget.
 void BM_ObsScopeDisabled(benchmark::State& state) {

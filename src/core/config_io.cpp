@@ -201,6 +201,8 @@ void apply_config(ExperimentConfig& config, const KeyValueConfig& kv) {
       "policy.window_start_h", config.policy.window_start_h);
   config.policy.window_end_h = kv.get_double_or(
       "policy.window_end_h", config.policy.window_end_h);
+  config.policy.shards = static_cast<int>(
+      kv.get_int_or("scheduler.shards", config.policy.shards));
 
   // --- simulation ----------------------------------------------------
   if (const auto fidelity = kv.get_string("sim.fidelity")) {
@@ -347,6 +349,7 @@ std::vector<std::pair<std::string, std::string>> config_echo(
   add("grid.profile", c.grid.profile);
   add("policy.window_start_h", echo_num(c.policy.window_start_h));
   add("policy.window_end_h", echo_num(c.policy.window_end_h));
+  add("scheduler.shards", std::to_string(c.policy.shards));
   add("sim.fidelity",
       c.fidelity == Fidelity::kEventLevel ? "event" : "slot");
   add("sim.slot_seconds", std::to_string(c.slot_length_s));
@@ -411,6 +414,7 @@ std::string config_keys_help() {
       "night-shift), policy.deferral, policy.horizon,\n"
       "policy.battery_aware, policy.carbon_aware, policy.window_start_h,\n"
       "policy.window_end_h, grid.profile (flat|wind-heavy|solar-heavy)\n"
+      "scheduler.shards (placement-group scheduling shards, default 1)\n"
       "sim.fidelity (slot|event), sim.slot_seconds, sim.dwell_slots,\n"
       "sim.drain_slots, sim.dvfs_eco_speed, sim.maid, sim.maid_min_disks\n"
       "forecast.noisy, forecast.error_at_1h, forecast.error_cap,\n"

@@ -824,7 +824,7 @@ RunArtifacts SimulationEngine::finalize() {
     r.scheduler.plan_cache_hits = gm->plan_cache_hits();
     r.scheduler.warm_accepts = gm->warm_accepts();
     r.scheduler.warm_rejects = gm->warm_rejects();
-    const auto& totals = gm->solver_totals();
+    const auto totals = gm->solver_totals();
     r.scheduler.solver_solves = totals.solves;
     r.scheduler.solver_dijkstra_runs = totals.dijkstra_runs;
     r.scheduler.solver_dijkstra_pops = totals.dijkstra_pops;
@@ -838,6 +838,11 @@ RunArtifacts SimulationEngine::finalize() {
     r.scheduler.solver_cs_global_updates = totals.cs_global_updates;
     r.scheduler.solver_incremental_accepts = totals.incremental_accepts;
     r.scheduler.solver_incremental_rebuilds = totals.incremental_rebuilds;
+    if (gm->shards() > 1) {
+      r.scheduler.planner_shards =
+          static_cast<std::uint64_t>(gm->shards());
+      r.scheduler.reconciliation_solves = gm->reconciliation_solves();
+    }
   }
 
   if (recorder_) {
@@ -901,6 +906,22 @@ RunArtifacts SimulationEngine::finalize() {
       m.gauge_set("planner.arena_bytes_peak",
                   static_cast<double>(
                       r.scheduler.solver_arena_bytes_peak));
+      // Sharded-planner telemetry (tentpole of the sharding work):
+      // emitted only when the run actually sharded, so flat-planner
+      // metric dumps are unchanged byte for byte.
+      if (const auto* gm =
+              dynamic_cast<const GreenMatchPolicy*>(policy_.get());
+          gm && gm->shards() > 1) {
+        m.gauge_set("planner.shards", static_cast<double>(gm->shards()));
+        m.counter_set("planner.reconciliation_solves",
+                      gm->reconciliation_solves());
+        for (const auto& st : gm->shard_stats()) {
+          const std::string prefix =
+              "planner.shard" + std::to_string(st.shard);
+          m.gauge_set(prefix + ".solve_ms", st.solve_ms);
+          m.counter_set(prefix + ".solves", st.solves);
+        }
+      }
     }
     m.gauge_set("run.read_latency_p95_s", r.qos.read_latency_p95_s);
     m.gauge_set("run.battery_equivalent_cycles",

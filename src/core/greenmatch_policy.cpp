@@ -7,9 +7,11 @@
 
 #include "core/mincost_flow.hpp"
 #include "core/policies.hpp"
+#include "core/shard.hpp"
 #include "obs/recorder.hpp"
 #include "util/assert.hpp"
 #include "util/math_utils.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gm::core {
 namespace {
@@ -90,11 +92,83 @@ GreenMatchPolicy::GreenMatchPolicy(int horizon_slots, bool greedy,
   GM_CHECK(horizon_slots >= 1, "horizon must be >= 1");
 }
 
+// Out of line for the forward-declared ThreadPool member.
+GreenMatchPolicy::~GreenMatchPolicy() = default;
+
 void GreenMatchPolicy::set_solver(MinCostFlow::SolverKind kind) {
   flow_.set_solver(kind);
   // Johnson warm potentials belong to the SSP path; drop any retained
   // ones so a later switch back starts from a clean cold solve.
   have_potentials_ = false;
+  // Sub-planners inherit the solver at creation; a later switch must
+  // rebuild them (their retained solver state is now the wrong kind).
+  shard_planners_.clear();
+}
+
+void GreenMatchPolicy::set_shards(int shards) {
+  GM_CHECK(shards >= 1, "scheduler.shards must be >= 1");
+  shards_ = shards;
+  shard_planners_.clear();
+  pool_.reset();
+}
+
+void GreenMatchPolicy::ensure_shard_planners() {
+  if (static_cast<int>(shard_planners_.size()) != shards_) {
+    shard_planners_.clear();
+    shard_planners_.reserve(static_cast<std::size_t>(shards_));
+    for (int s = 0; s < shards_; ++s) {
+      auto sub = std::make_unique<GreenMatchPolicy>(
+          horizon_, /*greedy=*/false, replan_every_slot_, battery_aware_,
+          carbon_aware_);
+      sub->aggregate_ = aggregate_;
+      sub->shard_id_ = s;
+      if (flow_.solver() == MinCostFlow::SolverKind::kCostScaling)
+        sub->flow_.set_solver(MinCostFlow::SolverKind::kCostScaling);
+      shard_planners_.push_back(std::move(sub));
+    }
+  }
+  if (!pool_)
+    pool_ = std::make_unique<ThreadPool>(
+        std::min<std::size_t>(static_cast<std::size_t>(shards_),
+                              std::max(1u, std::thread::hardware_concurrency())));
+}
+
+GreenMatchPolicy::SolverTotals GreenMatchPolicy::solver_totals() const {
+  SolverTotals t = solver_totals_;
+  for (const auto& sub : shard_planners_) {
+    const SolverTotals& s = sub->solver_totals_;
+    t.solves += s.solves;
+    t.dijkstra_runs += s.dijkstra_runs;
+    t.dijkstra_pops += s.dijkstra_pops;
+    t.dijkstra_relaxations += s.dijkstra_relaxations;
+    t.augmenting_paths += s.augmenting_paths;
+    t.arena_bytes_peak = std::max(t.arena_bytes_peak, s.arena_bytes_peak);
+    t.cs_phases += s.cs_phases;
+    t.cs_pushes += s.cs_pushes;
+    t.cs_relabels += s.cs_relabels;
+    t.cs_price_refinements += s.cs_price_refinements;
+    t.cs_global_updates += s.cs_global_updates;
+    t.incremental_accepts += s.incremental_accepts;
+    t.incremental_rebuilds += s.incremental_rebuilds;
+  }
+  return t;
+}
+
+std::vector<GreenMatchPolicy::ShardStats> GreenMatchPolicy::shard_stats()
+    const {
+  std::vector<ShardStats> out;
+  out.reserve(shard_planners_.size());
+  for (std::size_t s = 0; s < shard_planners_.size(); ++s) {
+    const GreenMatchPolicy& sub = *shard_planners_[s];
+    ShardStats st;
+    st.shard = static_cast<int>(s);
+    st.solve_ms = sub.solve_ms_total_;
+    st.solves = sub.solver_totals_.solves;
+    st.last_tasks = sub.plan_stats_.tasks;
+    st.last_classes = sub.plan_stats_.classes;
+    out.push_back(st);
+  }
+  return out;
 }
 
 double GreenMatchPolicy::horizon_carbon_mean(const SlotContext& ctx) const {
@@ -531,6 +605,24 @@ SlotDecision GreenMatchPolicy::plan_flow(const SlotContext& ctx) {
                           warm,
                           flow_.last_stats().incremental_accepts > 0};
 
+  // Supply readback for the parent planner's cross-shard
+  // reconciliation pass: per-slot green headroom the solve left on the
+  // table (offered minus taken on the G_j → sink edge, which counts
+  // battery-charge draw too) and the grid units it fell back to.
+  last_plan_slot_ = ctx.slot;
+  last_unit_energy_j_ = unit_energy;
+  last_green_spare_w_.assign(horizon, 0.0);
+  last_brown_units_.assign(horizon, 0);
+  for (int j = 0; j < h; ++j) {
+    const auto idx = static_cast<std::size_t>(j);
+    const long long offered = std::min(green[idx], cap_per_slot);
+    const long long used = flow.flow_on(supply_edge0 + 3 * j + 1);
+    last_green_spare_w_[idx] =
+        static_cast<double>(std::max<long long>(0, offered - used)) *
+        unit_energy / facts_.slot_length_s;
+    last_brown_units_[idx] = flow.flow_on(supply_edge0 + 3 * j + 2);
+  }
+
   // Decision provenance: one record per pending task, attributing its
   // fate to the solved network. Opt-in (--provenance) because this
   // re-deals every class's flow; the demux math mirrors the
@@ -569,6 +661,7 @@ SlotDecision GreenMatchPolicy::plan_flow(const SlotContext& ctx) {
         d.slot = ctx.slot;
         d.t = ctx.start;
         d.policy = name();
+        d.shard = shard_id_;  // -1 (flat planner) is not emitted
         d.task = p.task.id;
         d.class_id = static_cast<std::int64_t>(ci) + 1;  // node id
         d.class_size = static_cast<std::int64_t>(m);
@@ -758,7 +851,120 @@ std::optional<SlotDecision> GreenMatchPolicy::cached_decision(
   return decision;
 }
 
+SlotDecision GreenMatchPolicy::plan_sharded(const SlotContext& ctx) {
+  GM_OBS_SCOPE("policy.plan_sharded");
+  const auto t0 = std::chrono::steady_clock::now();
+  ensure_shard_planners();
+
+  auto problems = shard::partition(ctx, facts_, shards_);
+  const auto n = problems.size();
+  std::vector<SlotDecision> decisions(n);
+  const auto solve_one = [&](std::size_t s) {
+    GreenMatchPolicy& sub = *shard_planners_[s];
+    sub.initialize(problems[s].facts);
+    decisions[s] = sub.decide(problems[s].ctx);
+  };
+  // The obs Recorder is installed thread-locally and is not
+  // thread-safe: when one is active (tracing / provenance runs) the
+  // shards solve serially on this thread, so every sample lands in
+  // the trace and the recorded stream is deterministic. Otherwise the
+  // shards fan out on the pool.
+  if (obs::current_recorder() != nullptr) {
+    for (std::size_t s = 0; s < n; ++s) solve_one(s);
+  } else {
+    parallel_for(*pool_, n, solve_one);
+  }
+
+  // Cross-shard reconciliation: pool the green headroom the per-shard
+  // solves left unclaimed this slot and re-offer it, in shard order,
+  // to shards that fell back to grid power; each taker re-solves once
+  // against its boosted forecast. Claims are capped by the pool and by
+  // the taker's own grid draw, so total green never exceeds supply.
+  // Shards that answered from their cached plan (no fresh readback
+  // this slot) sit the pass out.
+  const double slot_len = facts_.slot_length_s;
+  std::vector<double> pool_w;
+  for (std::size_t s = 0; s < n; ++s) {
+    const GreenMatchPolicy& sub = *shard_planners_[s];
+    if (sub.last_plan_slot_ != ctx.slot) continue;
+    if (sub.last_green_spare_w_.size() > pool_w.size())
+      pool_w.resize(sub.last_green_spare_w_.size(), 0.0);
+    for (std::size_t j = 0; j < sub.last_green_spare_w_.size(); ++j)
+      pool_w[j] += sub.last_green_spare_w_[j];
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    GreenMatchPolicy& sub = *shard_planners_[s];
+    if (sub.last_plan_slot_ != ctx.slot) continue;
+    auto& forecast = problems[s].ctx.green_forecast_w;
+    bool boosted = false;
+    const std::size_t limit =
+        std::min({sub.last_brown_units_.size(), forecast.size(),
+                  pool_w.size()});
+    for (std::size_t j = 0; j < limit; ++j) {
+      if (sub.last_brown_units_[j] <= 0 || pool_w[j] <= 0.0) continue;
+      const double want_w =
+          static_cast<double>(sub.last_brown_units_[j]) *
+          sub.last_unit_energy_j_ / slot_len;
+      const double claim_w = std::min(pool_w[j], want_w);
+      if (claim_w <= 0.0) continue;
+      forecast[j] += claim_w;
+      pool_w[j] -= claim_w;
+      boosted = true;
+    }
+    if (boosted) {
+      ++reconciliation_solves_;
+      decisions[s] = sub.plan_flow(problems[s].ctx);
+    }
+  }
+
+  // Merge. Shard run sets are disjoint by construction (each task
+  // lives in exactly one shard); emit them in the global pending
+  // order, recompute the node target on the fleet-level facts, and
+  // only eco-speed when every shard wants to.
+  SlotDecision decision;
+  merge_run_set_.clear();
+  for (const auto& d : decisions)
+    for (const auto id : d.run_tasks) merge_run_set_.insert(id);
+  double util = ctx.foreground_util;
+  int count = 0;
+  for (const auto& p : ctx.pending) {
+    if (merge_run_set_.count(p.task.id)) {
+      decision.run_tasks.push_back(p.task.id);
+      util += p.task.utilization;
+      ++count;
+    }
+  }
+  decision.target_active_nodes = nodes_for_load(util, count);
+  decision.eco_speed = true;
+  for (const auto& d : decisions)
+    decision.eco_speed = decision.eco_speed && d.eco_speed;
+
+  // Fleet-level view of the last plan: field sums over the shards'
+  // most recent solves (warm/incremental if any shard was).
+  PlanStats merged;
+  for (const auto& sub : shard_planners_) {
+    const PlanStats& ps = sub->plan_stats_;
+    merged.flow += ps.flow;
+    merged.cost += ps.cost;
+    merged.tasks += ps.tasks;
+    merged.classes += ps.classes;
+    merged.network_nodes += ps.network_nodes;
+    merged.warm_start = merged.warm_start || ps.warm_start;
+    merged.incremental = merged.incremental || ps.incremental;
+  }
+  plan_stats_ = merged;
+
+  // Wall clock of the whole orchestration — what the slot actually
+  // waited. Per-shard CPU accumulates in the sub-planners
+  // (shard_stats()), so it is deliberately not added here.
+  const auto t1 = std::chrono::steady_clock::now();
+  solve_ms_total_ +=
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return decision;
+}
+
 SlotDecision GreenMatchPolicy::decide(const SlotContext& ctx) {
+  if (shards_ > 1 && !greedy_) return plan_sharded(ctx);
   if (auto cached = cached_decision(ctx)) return *cached;
   return greedy_ ? plan_greedy(ctx) : plan_flow(ctx);
 }

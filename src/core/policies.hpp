@@ -3,12 +3,18 @@
 // DESIGN.md §3.4 for the GreenMatch planning algorithm.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "core/mincost_flow.hpp"
 #include "core/policy.hpp"
 #include "util/rng.hpp"
+
+namespace gm {
+class ThreadPool;
+}
 
 namespace gm::core {
 
@@ -73,15 +79,47 @@ class GreenMatchPolicy final : public SchedulerPolicy {
  public:
   GreenMatchPolicy(int horizon_slots, bool greedy, bool replan_every_slot,
                    bool battery_aware = false, bool carbon_aware = false);
+  ~GreenMatchPolicy() override;
   const char* name() const override {
     return greedy_ ? "greenmatch-greedy" : "greenmatch";
   }
   SlotDecision decide(const SlotContext& ctx) override;
 
-  /// Cumulative planner CPU time (telemetry for the report).
+  /// Cumulative planner wall time (telemetry for the report). Under
+  /// sharding this is the orchestration wall clock of plan_sharded —
+  /// what the slot actually waited — not the sum of per-shard CPU
+  /// (that lives in shard_stats()).
   double solve_ms_total() const { return solve_ms_total_; }
-  /// Slots answered from the cached plan (replan_every_slot = false).
-  std::uint64_t plan_cache_hits() const { return plan_cache_hits_; }
+  /// Slots answered from the cached plan (replan_every_slot = false),
+  /// summed over the per-shard sub-planners when sharded.
+  std::uint64_t plan_cache_hits() const {
+    std::uint64_t hits = plan_cache_hits_;
+    for (const auto& s : shard_planners_) hits += s->plan_cache_hits_;
+    return hits;
+  }
+
+  /// Splits planning into `shards` independent subproblems keyed by
+  /// placement group (core/shard.hpp), solved in parallel on an
+  /// internal thread pool and merged with a cross-shard green-headroom
+  /// reconciliation pass. `1` (the default) is the flat planner,
+  /// byte-identically. Greedy mode ignores sharding (the heuristic is
+  /// already O(tasks × horizon)).
+  void set_shards(int shards);
+  int shards() const { return shards_; }
+  /// Residual-pass re-solves triggered by the reconciliation ledger.
+  std::uint64_t reconciliation_solves() const {
+    return reconciliation_solves_;
+  }
+
+  /// Per-shard planner telemetry (empty when shards() == 1).
+  struct ShardStats {
+    int shard = 0;
+    double solve_ms = 0.0;      ///< cumulative CPU inside this shard
+    std::uint64_t solves = 0;   ///< flow solves this shard ran
+    int last_tasks = 0;         ///< pending tasks in the last plan
+    int last_classes = 0;       ///< distinct signatures in it
+  };
+  std::vector<ShardStats> shard_stats() const;
 
   /// Telemetry for the last plan_flow solve (tests, benches).
   struct PlanStats {
@@ -112,17 +150,32 @@ class GreenMatchPolicy final : public SchedulerPolicy {
   void set_solver(MinCostFlow::SolverKind kind);
   MinCostFlow::SolverKind solver() const { return flow_.solver(); }
 
-  /// Warm-start acceptance counters of the underlying solver.
-  std::uint64_t warm_accepts() const { return flow_.warm_accepts(); }
-  std::uint64_t warm_rejects() const { return flow_.warm_rejects(); }
+  /// Warm-start acceptance counters of the underlying solver(s) —
+  /// summed over the per-shard sub-planners when sharded.
+  std::uint64_t warm_accepts() const {
+    std::uint64_t n = flow_.warm_accepts();
+    for (const auto& s : shard_planners_) n += s->flow_.warm_accepts();
+    return n;
+  }
+  std::uint64_t warm_rejects() const {
+    std::uint64_t n = flow_.warm_rejects();
+    for (const auto& s : shard_planners_) n += s->flow_.warm_rejects();
+    return n;
+  }
 
-  /// Incremental re-optimization counters of the underlying solver
-  /// (zero under the default SSP solver).
+  /// Incremental re-optimization counters of the underlying solver(s)
+  /// (zero under the default SSP solver); summed over shards.
   std::uint64_t incremental_accepts() const {
-    return flow_.incremental_accepts();
+    std::uint64_t n = flow_.incremental_accepts();
+    for (const auto& s : shard_planners_)
+      n += s->flow_.incremental_accepts();
+    return n;
   }
   std::uint64_t incremental_rebuilds() const {
-    return flow_.incremental_rebuilds();
+    std::uint64_t n = flow_.incremental_rebuilds();
+    for (const auto& s : shard_planners_)
+      n += s->flow_.incremental_rebuilds();
+    return n;
   }
 
   /// Cumulative solver work across every plan_flow solve of this
@@ -145,7 +198,9 @@ class GreenMatchPolicy final : public SchedulerPolicy {
     std::uint64_t incremental_accepts = 0;
     std::uint64_t incremental_rebuilds = 0;
   };
-  const SolverTotals& solver_totals() const { return solver_totals_; }
+  /// Aggregated over the flat planner and every shard sub-planner
+  /// (counter sum, arena peak max).
+  SolverTotals solver_totals() const;
   /// Per-solve stats of the most recent plan_flow (classes stamped).
   const MinCostFlow::SolveStats& last_solve_stats() const {
     return flow_.last_stats();
@@ -154,6 +209,13 @@ class GreenMatchPolicy final : public SchedulerPolicy {
  private:
   SlotDecision plan_flow(const SlotContext& ctx);
   SlotDecision plan_greedy(const SlotContext& ctx);
+  /// shards_ > 1 flow path: partition → parallel per-shard plan_flow →
+  /// green-headroom reconciliation → merge (see docs/scheduling.md).
+  SlotDecision plan_sharded(const SlotContext& ctx);
+  /// Lazily builds the per-shard sub-planners (each with its own
+  /// retained flow network, warm potentials, and incremental
+  /// cost-scaling state) and the solve pool.
+  void ensure_shard_planners();
   /// Power committed to foreground work + its coverage floor in
   /// horizon slot j.
   Watts committed_power_w(const SlotContext& ctx, std::size_t j) const;
@@ -202,6 +264,28 @@ class GreenMatchPolicy final : public SchedulerPolicy {
   std::uint64_t plan_cache_hits_ = 0;
   PlanStats plan_stats_;
   SolverTotals solver_totals_;
+
+  // --- sharding (tentpole of PR 9) -----------------------------------
+  int shards_ = 1;
+  /// This planner's shard id when it is a sub-planner (-1 for the
+  /// flat/outer planner); stamped into provenance records.
+  int shard_id_ = -1;
+  /// One retained planner per shard: each keeps its own flow arena,
+  /// warm potentials, incremental cost-scaling residual network, and
+  /// plan cache across slots, so sharding composes with every
+  /// between-slot reuse path the flat planner has.
+  std::vector<std::unique_ptr<GreenMatchPolicy>> shard_planners_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::uint64_t reconciliation_solves_ = 0;
+  std::unordered_set<storage::TaskId> merge_run_set_;  // merge scratch
+
+  // Per-plan supply readback (filled by plan_flow, O(horizon)):
+  // unclaimed green headroom and grid draw per horizon slot, consumed
+  // by the reconciliation pass of the *parent* planner.
+  SlotIndex last_plan_slot_ = -1;
+  Joules last_unit_energy_j_ = 0.0;
+  std::vector<double> last_green_spare_w_;
+  std::vector<long long> last_brown_units_;
 
   /// The matching network, kept across plan calls as an arena: the
   /// planner rebuilds the edges every solve, but reset() preserves the

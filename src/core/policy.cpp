@@ -25,6 +25,7 @@ void PolicyConfig::validate() const {
   GM_CHECK(window_start_h >= 0.0 && window_end_h <= 24.0 &&
                window_start_h < window_end_h,
            "invalid night-shift window");
+  GM_CHECK(shards >= 1, "scheduler.shards must be >= 1");
 }
 
 int SchedulerPolicy::nodes_for_load(double total_util,
@@ -59,6 +60,7 @@ std::unique_ptr<SchedulerPolicy> make_policy(const PolicyConfig& config) {
       policy->set_aggregation(config.aggregate_planner);
       if (config.cost_scaling_planner)
         policy->set_solver(MinCostFlow::SolverKind::kCostScaling);
+      policy->set_shards(config.shards);
       return policy;
     }
     case PolicyKind::kGreenMatchGreedy:

@@ -161,6 +161,12 @@ struct PolicyConfig {
   /// aggregate_planner, is deliberately NOT reachable from the
   /// config-file key space.
   bool cost_scaling_planner = false;
+  /// GreenMatch: number of placement-group scheduling shards. `1`
+  /// (the default) plans the whole fleet in one flow network; `N > 1`
+  /// partitions nodes, pending tasks, and forecast supply into N
+  /// subproblems solved in parallel and reconciled (core/shard.hpp,
+  /// docs/scheduling.md §Sharding). Config key `scheduler.shards`.
+  int shards = 1;
 
   void validate() const;
 };

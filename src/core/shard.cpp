@@ -1,0 +1,78 @@
+#include "core/shard.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "storage/placement.hpp"
+#include "util/assert.hpp"
+
+namespace gm::core::shard {
+
+int shard_of_task(const PendingTask& task, int shard_count) {
+  return static_cast<int>(storage::shard_of_group(
+      task.task.group, static_cast<std::uint32_t>(shard_count)));
+}
+
+std::vector<ShardProblem> partition(const SlotContext& ctx,
+                                    const ClusterFacts& facts,
+                                    int shard_count) {
+  GM_CHECK(shard_count >= 1, "shard_count must be >= 1");
+  std::vector<ShardProblem> out(static_cast<std::size_t>(shard_count));
+  const int total = facts.total_nodes;
+  const int base = total / shard_count;
+  const int extra = total % shard_count;
+
+  for (int s = 0; s < shard_count; ++s) {
+    ShardProblem& p = out[static_cast<std::size_t>(s)];
+    p.shard = s;
+    p.node_count = base + (s < extra ? 1 : 0);
+    p.node_share =
+        total > 0 ? static_cast<double>(p.node_count) / total : 0.0;
+    const double share = p.node_share;
+
+    // Facts scaled to the shard. A shard never plans with zero nodes
+    // (an empty shard still answers for its filtered tasks, if any).
+    p.facts = facts;
+    p.facts.total_nodes = std::max(1, p.node_count);
+    p.facts.min_nodes_for_coverage = std::min(
+        p.facts.total_nodes,
+        static_cast<int>(std::ceil(facts.min_nodes_for_coverage * share)));
+
+    // Context: scalars copy over, shared supply scales by node share
+    // (the per-shard proportional allocation half of reconciliation),
+    // and the pending pool keeps only this shard's groups.
+    SlotContext& c = p.ctx;
+    c.slot = ctx.slot;
+    c.start = ctx.start;
+    c.end = ctx.end;
+    c.grid_carbon_g_per_kwh = ctx.grid_carbon_g_per_kwh;
+    c.battery_charge_efficiency = ctx.battery_charge_efficiency;
+    c.green_forecast_w.resize(ctx.green_forecast_w.size());
+    for (std::size_t j = 0; j < ctx.green_forecast_w.size(); ++j)
+      c.green_forecast_w[j] = ctx.green_forecast_w[j] * share;
+    c.foreground_util_forecast.resize(
+        ctx.foreground_util_forecast.size());
+    for (std::size_t j = 0; j < ctx.foreground_util_forecast.size(); ++j)
+      c.foreground_util_forecast[j] =
+          ctx.foreground_util_forecast[j] * share;
+    c.foreground_util = ctx.foreground_util * share;
+    c.battery_stored_j = ctx.battery_stored_j * share;
+    c.battery_usable_capacity_j = ctx.battery_usable_capacity_j * share;
+    c.battery_max_charge_w = ctx.battery_max_charge_w * share;
+    c.battery_max_discharge_w = ctx.battery_max_discharge_w * share;
+    c.currently_active_nodes = std::min(
+        p.facts.total_nodes,
+        static_cast<int>(std::lround(ctx.currently_active_nodes * share)));
+  }
+
+  if (shard_count == 1) {
+    out[0].ctx.pending = ctx.pending;
+    return out;
+  }
+  for (const auto& task : ctx.pending)
+    out[static_cast<std::size_t>(shard_of_task(task, shard_count))]
+        .ctx.pending.push_back(task);
+  return out;
+}
+
+}  // namespace gm::core::shard

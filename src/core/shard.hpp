@@ -1,0 +1,47 @@
+#pragma once
+// Scheduling shards: the fleet split into independent per-placement-
+// group subproblems, each small enough for its own flow network (the
+// EOS GeoTreeEngine pattern — see docs/scheduling.md §Sharding).
+//
+// partition() takes the slot observation the engine hands the policy
+// and produces one read-only snapshot per shard: nodes are divided
+// evenly and deterministically, pending tasks follow their placement
+// group through storage::shard_of_group, and the shared supply —
+// green forecast, foreground demand, battery energy and rates — is
+// allocated proportionally to each shard's node share. The snapshots
+// are plain SlotContext/ClusterFacts values, so a shard subproblem is
+// solved by an unmodified GreenMatchPolicy instance; the cross-shard
+// reconciliation pass that re-offers unclaimed green headroom lives in
+// GreenMatchPolicy::plan_sharded.
+
+#include <vector>
+
+#include "core/policy.hpp"
+#include "storage/types.hpp"
+
+namespace gm::core::shard {
+
+/// One shard's view of the slot: the scaled facts/context pair an
+/// unmodified planner can solve, plus the bookkeeping the merge needs.
+struct ShardProblem {
+  int shard = 0;
+  int node_count = 0;     ///< nodes allocated to this shard
+  double node_share = 0;  ///< node_count / fleet total
+  ClusterFacts facts;     ///< fleet facts scaled to the shard
+  SlotContext ctx;        ///< supply scaled, pending filtered
+};
+
+/// Shard owning a pending task: its placement group's shard.
+int shard_of_task(const PendingTask& task, int shard_count);
+
+/// Splits the slot observation into `shard_count` independent
+/// subproblems. Deterministic: node counts use an even split (the
+/// first `total % shard_count` shards take one extra node), task
+/// membership is the pure group hash, and all supply scaling is by
+/// node share. Pending order (deadline-sorted) is preserved within
+/// each shard. `shard_count == 1` returns a single unscaled problem.
+std::vector<ShardProblem> partition(const SlotContext& ctx,
+                                    const ClusterFacts& facts,
+                                    int shard_count);
+
+}  // namespace gm::core::shard

@@ -89,6 +89,9 @@ struct SchedulerReport {
   std::uint64_t solver_cs_global_updates = 0;
   std::uint64_t solver_incremental_accepts = 0;
   std::uint64_t solver_incremental_rebuilds = 0;
+  // Sharded-planner telemetry (zero when scheduler.shards = 1).
+  std::uint64_t planner_shards = 0;
+  std::uint64_t reconciliation_solves = 0;
 };
 
 struct RunResult {

@@ -145,6 +145,7 @@ void Recorder::record_decision(const DecisionSample& s) {
       .set("action", s.action)
       .set("reason", s.reason)
       .set("deadline_slack", s.deadline_slack);
+  if (s.shard >= 0) record.set("shard", s.shard);
   if (s.chosen_offset >= 0) record.set("chosen_offset", s.chosen_offset);
   if (s.class_id >= 0) {
     record.set("class_id", s.class_id)

@@ -105,6 +105,7 @@ struct DecisionSample {
   std::int64_t slot = 0;       ///< slot at which the plan was made
   double t = 0.0;              ///< sim time of the decision (s)
   std::string policy;          ///< planner that decided
+  std::int64_t shard = -1;     ///< planning shard (-1: unsharded)
   std::uint64_t task = 0;      ///< task id
   /// One of: "run", "defer", "beyond", "drop".
   std::string action;

@@ -97,6 +97,14 @@ PlacementMap::PlacementMap(const PlacementConfig& config,
   }
 }
 
+std::uint32_t shard_of_group(GroupId group, std::uint32_t shard_count) {
+  if (shard_count <= 1) return 0;
+  // Fixed seed (not the placement seed): shard membership is a
+  // scheduling concern and must not move when placement is reseeded.
+  return static_cast<std::uint32_t>(mix_hash(0x5aa5c0de0005ULL, group) %
+                                    shard_count);
+}
+
 GroupId PlacementMap::group_of(ObjectId object) const {
   return static_cast<GroupId>(mix_hash(config_.seed ^ 0xabcdef12345ULL,
                                        object) %

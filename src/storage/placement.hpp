@@ -31,6 +31,14 @@ struct NodeDescriptor {
   RackId rack;
 };
 
+/// Deterministic placement-group → scheduling-shard map used by the
+/// sharded planner (core/shard.hpp). Pure hash of the group id: stable
+/// across runs, processes, and node-set changes, so a group's shard
+/// never churns — the property the CI shard-determinism gate and the
+/// sharded-vs-flat equivalence tests rely on. `shard_count <= 1` maps
+/// everything to shard 0.
+std::uint32_t shard_of_group(GroupId group, std::uint32_t shard_count);
+
 class PlacementMap {
  public:
   PlacementMap(const PlacementConfig& config,

@@ -18,22 +18,36 @@ RequestRouter::RequestRouter(Cluster& cluster, const RouterConfig& config)
                                .size());
 }
 
+void RequestRouter::consider_node(
+    NodeId n, std::optional<std::pair<NodeId, DiskId>>& best,
+    SimTime& best_busy) const {
+  const StorageNode& node = cluster_.node(n);
+  if (!node.available()) return;
+  for (DiskId d = 0; d < node.disks().size(); ++d) {
+    if (!node.disks()[d].spinning()) continue;
+    const SimTime busy = disk_clocks_[n][d].busy_until;
+    if (busy < best_busy) {
+      best_busy = busy;
+      best = std::make_pair(n, d);
+    }
+  }
+}
+
 std::optional<std::pair<NodeId, DiskId>> RequestRouter::pick_disk(
     GroupId group) const {
   std::optional<std::pair<NodeId, DiskId>> best;
   SimTime best_busy = kSimTimeMax;
-  for (NodeId n : cluster_.placement().replicas(group)) {
-    const StorageNode& node = cluster_.node(n);
-    if (!node.available()) continue;
-    for (DiskId d = 0; d < node.disks().size(); ++d) {
-      if (!node.disks()[d].spinning()) continue;
-      const SimTime busy = disk_clocks_[n][d].busy_until;
-      if (busy < best_busy) {
-        best_busy = busy;
-        best = std::make_pair(n, d);
-      }
-    }
-  }
+  for (NodeId n : cluster_.placement().replicas(group))
+    consider_node(n, best, best_busy);
+  return best;
+}
+
+std::optional<std::pair<NodeId, DiskId>> RequestRouter::pick_any_disk()
+    const {
+  std::optional<std::pair<NodeId, DiskId>> best;
+  SimTime best_busy = kSimTimeMax;
+  for (NodeId n = 0; n < cluster_.node_count(); ++n)
+    consider_node(n, best, best_busy);
   return best;
 }
 
@@ -54,39 +68,38 @@ std::optional<RequestOutcome> RequestRouter::route(const IoRequest& request,
   if (!target) {
     // No active replica right now.
     if (request.is_write && config_.allow_write_offload) {
-      // Log the write on *any* active node: cheap append, replayed by a
+      // Log the write on the least-busy spinning disk of *any* active
+      // node (same selection rule as pick_disk, fleet-wide — a fixed
+      // scan order would hot-spot node 0): cheap append, replayed by a
       // reconciliation task later.
-      for (NodeId n = 0; n < cluster_.node_count(); ++n) {
+      if (const auto log_target = pick_any_disk()) {
+        const auto [n, d] = *log_target;
         const StorageNode& node = cluster_.node(n);
-        if (!node.available()) continue;
-        for (DiskId d = 0; d < node.disks().size(); ++d) {
-          if (!node.disks()[d].spinning()) continue;
-          auto& clock = disk_clocks_[n][d];
-          const SimTime begin = std::max(now, clock.busy_until);
-          const Seconds service =
-              node.disks()[d].service_time_s(request.size_bytes);
-          clock.busy_until = begin + static_cast<SimTime>(service + 0.5);
-          stats_.busy_disk_seconds += service;
-          ++stats_.offloaded_writes;
+        auto& clock = disk_clocks_[n][d];
+        const SimTime begin = std::max(now, clock.busy_until);
+        const Seconds service =
+            node.disks()[d].service_time_s(request.size_bytes);
+        clock.busy_until = begin + static_cast<SimTime>(service + 0.5);
+        stats_.busy_disk_seconds += service;
+        ++stats_.offloaded_writes;
 
-          BackgroundTask replay;
-          replay.id = next_offload_task_id_++;
-          replay.type = TaskType::kRepair;
-          replay.release = now;
-          replay.deadline = now + static_cast<SimTime>(hours_to_s(12));
-          replay.work_s = config_.offload_replay_work_s;
-          replay.utilization = 0.05;
-          replay.group = group;
-          pending_offload_tasks_.push_back(replay);
+        BackgroundTask replay;
+        replay.id = next_offload_task_id_++;
+        replay.type = TaskType::kRepair;
+        replay.release = now;
+        replay.deadline = now + static_cast<SimTime>(hours_to_s(12));
+        replay.work_s = config_.offload_replay_work_s;
+        replay.utilization = 0.05;
+        replay.group = group;
+        pending_offload_tasks_.push_back(replay);
 
-          outcome.completion = begin + static_cast<SimTime>(service);
-          outcome.latency_s =
-              static_cast<Seconds>(begin - request.arrival) + service;
-          outcome.served_by = n;
-          outcome.offloaded = true;
-          latency_.add(outcome.latency_s);
-          return outcome;
-        }
+        outcome.completion = begin + static_cast<SimTime>(service + 0.5);
+        outcome.latency_s =
+            static_cast<Seconds>(begin - request.arrival) + service;
+        outcome.served_by = n;
+        outcome.offloaded = true;
+        latency_.add(outcome.latency_s);
+        return outcome;
       }
       // No active node anywhere: fall through to forced wake-up.
     }
@@ -106,7 +119,9 @@ std::optional<RequestOutcome> RequestRouter::route(const IoRequest& request,
     target = pick_disk(group);
     if (!target) {
       // Waker promised future availability; model the wait by serving
-      // at `start` on the first replica (its disk clock starts fresh).
+      // at `start` on the first replica, charging the service time to
+      // that replica's first disk clock so the occupancy is not
+      // phantom-free for subsequent requests.
       const NodeId n = cluster_.placement().replicas(group).front();
       const StorageNode& node = cluster_.node(n);
       GM_CHECK(!node.disks().empty(), "replica node has no disks");
@@ -114,9 +129,12 @@ std::optional<RequestOutcome> RequestRouter::route(const IoRequest& request,
           node.config().disk.avg_seek_s +
           static_cast<double>(request.size_bytes) /
               node.config().disk.bandwidth_bytes_per_s;
-      outcome.completion = start + static_cast<SimTime>(service);
+      auto& clock = disk_clocks_[n][0];
+      const SimTime begin = std::max(start, clock.busy_until);
+      clock.busy_until = begin + static_cast<SimTime>(service + 0.5);
+      outcome.completion = begin + static_cast<SimTime>(service + 0.5);
       outcome.latency_s =
-          static_cast<Seconds>(start - request.arrival) + service;
+          static_cast<Seconds>(begin - request.arrival) + service;
       outcome.served_by = n;
       stats_.busy_disk_seconds += service;
       latency_.add(outcome.latency_s);
@@ -132,7 +150,9 @@ std::optional<RequestOutcome> RequestRouter::route(const IoRequest& request,
   clock.busy_until = begin + static_cast<SimTime>(service + 0.5);
   stats_.busy_disk_seconds += service;
 
-  outcome.completion = begin + static_cast<SimTime>(service);
+  // Completion uses the same rounded occupancy as busy_until so a disk
+  // is never "busy" past the reported completion of its last request.
+  outcome.completion = begin + static_cast<SimTime>(service + 0.5);
   outcome.latency_s =
       static_cast<Seconds>(begin - request.arrival) + service;
   outcome.served_by = n;

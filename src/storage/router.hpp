@@ -80,8 +80,19 @@ class RequestRouter {
     SimTime busy_until = 0;
   };
 
-  /// Least-loaded spinning disk on an available node; nullopt if none.
+  /// Least-loaded spinning disk among `group`'s replicas; nullopt if
+  /// none is available.
   std::optional<std::pair<NodeId, DiskId>> pick_disk(GroupId group) const;
+
+  /// Least-loaded spinning disk across the whole fleet (offload
+  /// targets are not restricted to the group's replicas).
+  std::optional<std::pair<NodeId, DiskId>> pick_any_disk() const;
+
+  /// Shared least-busy scan step: folds node `n`'s spinning disks into
+  /// the running (best, best_busy) pair.
+  void consider_node(NodeId n,
+                     std::optional<std::pair<NodeId, DiskId>>& best,
+                     SimTime& best_busy) const;
 
   Cluster& cluster_;
   RouterConfig config_;

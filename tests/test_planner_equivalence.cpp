@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "core/policies.hpp"
+#include "core/shard.hpp"
+#include "storage/placement.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
@@ -432,6 +434,221 @@ TEST(PlannerIncremental, BatteryEdgeRetargetBetweenSlots) {
                   policy.incremental_rebuilds(),
               3u)
         << "seed " << seed;
+  }
+}
+
+// ---- sharded planning (PR 9) ----------------------------------------
+
+/// Flat reference plan of `ctx` (aggregated, SSP, supply-only knobs as
+/// given) for the sharding comparisons below.
+SlotDecision plan_flat(const SlotContext& ctx, const ClusterFacts& facts,
+                       GreenMatchPolicy::PlanStats* stats) {
+  return plan_once(ctx, facts, /*aggregate=*/true, /*battery=*/false,
+                   /*carbon=*/false, kSsp, stats);
+}
+
+// scheduler.shards = 1 must be the flat planner *byte for byte*: the
+// dispatch takes the untouched plan_flow path, so every decision and
+// every stat of a replanning sequence matches a never-sharded twin.
+TEST(PlannerSharding, SingleShardMatchesFlatExactly) {
+  const auto facts = test_facts(16);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed * 977);
+    GreenMatchPolicy flat(24, false, true, false, false);
+    GreenMatchPolicy sharded(24, false, true, false, false);
+    sharded.set_shards(1);
+    flat.initialize(facts);
+    sharded.initialize(facts);
+    SlotContext ctx = random_ctx(rng, 24, /*duplicates=*/true,
+                                 /*battery=*/false);
+    for (int step = 0; step < 5; ++step) {
+      const auto a = flat.decide(ctx);
+      const auto b = sharded.decide(ctx);
+      ASSERT_EQ(a.run_tasks, b.run_tasks) << "seed " << seed;
+      ASSERT_EQ(a.target_active_nodes, b.target_active_nodes);
+      ASSERT_EQ(a.eco_speed, b.eco_speed);
+      const auto& sa = flat.last_plan_stats();
+      const auto& sb = sharded.last_plan_stats();
+      ASSERT_EQ(sa.flow, sb.flow);
+      ASSERT_EQ(sa.cost, sb.cost);
+      ASSERT_EQ(sa.classes, sb.classes);
+      ASSERT_EQ(sa.network_nodes, sb.network_nodes);
+      advance_one_slot(ctx, rng);
+    }
+    EXPECT_EQ(sharded.reconciliation_solves(), 0u);
+    EXPECT_TRUE(sharded.shard_stats().empty());
+  }
+}
+
+// partition() is a deterministic disjoint cover: every pending task
+// lands in exactly the shard its placement group hashes to (order
+// preserved), node counts sum to the fleet, and the scaled supply sums
+// back to the original.
+TEST(PlannerSharding, PartitionIsDeterministicDisjointCover) {
+  const auto facts = test_facts(19);  // deliberately not divisible
+  for (const int shards : {2, 3, 8}) {
+    Rng rng(41u * static_cast<std::uint64_t>(shards));
+    const auto ctx = random_ctx(rng, 12, /*duplicates=*/false,
+                                /*battery=*/true);
+    const auto problems = shard::partition(ctx, facts, shards);
+    ASSERT_EQ(problems.size(), static_cast<std::size_t>(shards));
+
+    int node_sum = 0;
+    std::size_t task_sum = 0;
+    double green0_sum = 0.0;
+    for (const auto& p : problems) {
+      node_sum += p.node_count;
+      task_sum += p.ctx.pending.size();
+      green0_sum += p.ctx.green_forecast_w.empty()
+                        ? 0.0
+                        : p.ctx.green_forecast_w[0];
+      // Membership is the pure group hash, order preserved.
+      SimTime prev_deadline = -1;
+      for (const auto& t : p.ctx.pending) {
+        EXPECT_EQ(storage::shard_of_group(
+                      t.task.group,
+                      static_cast<std::uint32_t>(shards)),
+                  static_cast<std::uint32_t>(p.shard));
+        EXPECT_GE(t.task.deadline, prev_deadline);
+        prev_deadline = t.task.deadline;
+      }
+    }
+    EXPECT_EQ(node_sum, facts.total_nodes);
+    EXPECT_EQ(task_sum, ctx.pending.size());
+    if (!ctx.green_forecast_w.empty())
+      EXPECT_NEAR(green0_sum, ctx.green_forecast_w[0],
+                  1e-6 * (1.0 + ctx.green_forecast_w[0]));
+
+    // Deterministic: a second partition is identical.
+    const auto again = shard::partition(ctx, facts, shards);
+    for (int s = 0; s < shards; ++s) {
+      ASSERT_EQ(problems[static_cast<std::size_t>(s)].ctx.pending.size(),
+                again[static_cast<std::size_t>(s)].ctx.pending.size());
+      ASSERT_EQ(problems[static_cast<std::size_t>(s)].node_count,
+                again[static_cast<std::size_t>(s)].node_count);
+    }
+  }
+}
+
+// In decomposable regimes — per-task placement independent because
+// supply is never contended (no green anywhere, or green far beyond
+// any shard's demand) and capacity is non-binding — the sharded
+// objective must equal the flat objective exactly, for any shard
+// count: splitting an additively separable problem changes nothing.
+TEST(PlannerSharding, DecomposableRegimesMatchFlatObjective) {
+  const auto facts = test_facts(64);
+  for (const bool abundant : {false, true}) {
+    for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+      Rng rng(seed * 1481 + (abundant ? 7 : 0));
+      SlotContext ctx = random_ctx(rng, 16, /*duplicates=*/true,
+                                   /*battery=*/false);
+      ctx.grid_carbon_g_per_kwh.clear();
+      ctx.foreground_util = 0.0;
+      std::fill(ctx.foreground_util_forecast.begin(),
+                ctx.foreground_util_forecast.end(), 0.0);
+      std::fill(ctx.green_forecast_w.begin(), ctx.green_forecast_w.end(),
+                abundant ? 50.0e6 : 0.0);
+      if (ctx.pending.empty()) continue;
+
+      GreenMatchPolicy::PlanStats flat_stats;
+      const auto flat = plan_flat(ctx, facts, &flat_stats);
+
+      for (const int shards : {2, 4, 8}) {
+        GreenMatchPolicy policy(24, false, true, false, false);
+        policy.set_shards(shards);
+        policy.initialize(facts);
+        const auto decision = policy.decide(ctx);
+        const auto& merged = policy.last_plan_stats();
+        ASSERT_EQ(merged.flow, flat_stats.flow)
+            << "seed " << seed << " shards " << shards << " abundant "
+            << abundant;
+        ASSERT_EQ(merged.cost, flat_stats.cost)
+            << "seed " << seed << " shards " << shards << " abundant "
+            << abundant;
+        EXPECT_EQ(merged.tasks, flat_stats.tasks);
+        EXPECT_EQ(decision.eco_speed, flat.eco_speed);
+        expect_valid_run_set(ctx, decision);
+        EXPECT_EQ(policy.shard_stats().size(),
+                  static_cast<std::size_t>(shards));
+      }
+    }
+  }
+}
+
+// The reconciliation pass must actually move green across shards: all
+// demand hashed into one shard, fleet green sized so the loaded
+// shard's proportional share covers well under half of it but the
+// whole fleet covers it entirely. Without reconciliation ≥ 1 unit
+// goes to the grid (cost ≥ kBrownUnitCost); with it, everything runs
+// green and the objective is pure earliness offsets.
+TEST(PlannerSharding, ReconciliationReclaimsCrossShardGreen) {
+  ClusterFacts facts = test_facts(16);
+  facts.min_nodes_for_coverage = 0;  // no committed idle floor
+  constexpr int kShards = 4;
+
+  // A group that hashes to shard 0 of 4.
+  storage::GroupId group = 0;
+  while (storage::shard_of_group(group, kShards) != 0) ++group;
+
+  SlotContext ctx;
+  ctx.slot = 3;
+  ctx.start = 3 * static_cast<SimTime>(kSlot);
+  ctx.end = ctx.start + static_cast<SimTime>(kSlot);
+  ctx.green_forecast_w.assign(24, 2400.0);
+  ctx.foreground_util_forecast.assign(24, 0.0);
+  ctx.foreground_util = 0.0;
+  ctx.currently_active_nodes = 16;
+  // 8 tasks × 2 slot-units at util 0.5 (unit power 90 W) due in two
+  // slots: 720 W of green needed per slot, against a 600 W per-shard
+  // proportional share — but 2400 W fleet-wide. Only a cross-shard
+  // claim can cover the last ~2 units of each slot.
+  for (storage::TaskId id = 0; id < 8; ++id) {
+    auto p = make_task(id, ctx.start + 2 * static_cast<SimTime>(kSlot),
+                       2.0 * kSlot, 0.5);
+    p.task.group = group;
+    ctx.pending.push_back(p);
+  }
+
+  GreenMatchPolicy policy(24, false, true, false, false);
+  policy.set_shards(kShards);
+  policy.initialize(facts);
+  const auto decision = policy.decide(ctx);
+  expect_valid_run_set(ctx, decision);
+  EXPECT_GE(policy.reconciliation_solves(), 1u);
+  const auto& merged = policy.last_plan_stats();
+  EXPECT_EQ(merged.flow, 16);
+  // Any grid (1'000'000) or beyond-horizon (400'000) unit would clear
+  // this bar; a fully green plan pays only earliness offsets.
+  EXPECT_LT(merged.cost, 400'000)
+      << "a grid/beyond unit survived reconciliation";
+}
+
+// General (contended) instances: sharding is approximate there, but a
+// replanning sequence must stay well-formed under both solvers — valid
+// disjoint run sets, all tasks accounted to exactly one shard, and
+// live per-shard telemetry.
+TEST(PlannerSharding, ContendedSequenceStaysValid) {
+  const auto facts = test_facts(24);
+  for (const bool cost_scaling : {false, true}) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      Rng rng(seed * 2203 + (cost_scaling ? 1 : 0));
+      GreenMatchPolicy policy(24, false, true, false, false);
+      if (cost_scaling) policy.set_solver(kCostScaling);
+      policy.set_shards(4);
+      policy.initialize(facts);
+      SlotContext ctx = random_ctx(rng, 24, /*duplicates=*/true,
+                                   /*battery=*/false);
+      for (int step = 0; step < 4; ++step) {
+        const auto decision = policy.decide(ctx);
+        expect_valid_run_set(ctx, decision);
+        advance_one_slot(ctx, rng);
+      }
+      const auto stats = policy.shard_stats();
+      ASSERT_EQ(stats.size(), 4u);
+      std::uint64_t solves = 0;
+      for (const auto& st : stats) solves += st.solves;
+      EXPECT_GT(solves, 0u) << "no shard ever solved";
+    }
   }
 }
 

@@ -1,0 +1,147 @@
+// Router accounting regression tests (the ISSUE 9 bugfix sweep):
+//  - write offload picks the least-busy disk fleet-wide instead of
+//    hot-spotting the lowest node id,
+//  - the reported completion time equals the rounded disk occupancy
+//    (busy_until) on every serve path, and
+//  - the forced-wakeup fallback charges the replica's disk clock so
+//    its capacity is not phantom-free for subsequent requests.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+
+#include "storage/cluster.hpp"
+#include "storage/router.hpp"
+
+namespace gm::storage {
+namespace {
+
+ClusterConfig small_cluster(int replication = 3) {
+  ClusterConfig c;
+  c.racks = 2;
+  c.nodes_per_rack = 4;
+  c.placement.group_count = 64;
+  c.placement.replication = replication;
+  return c;
+}
+
+/// One node, one disk: every request shares a single FIFO queue, which
+/// makes occupancy/completion arithmetic exactly predictable.
+ClusterConfig single_disk_cluster() {
+  ClusterConfig c;
+  c.racks = 1;
+  c.nodes_per_rack = 1;
+  c.node.disks_per_node = 1;
+  c.placement.group_count = 8;
+  c.placement.replication = 1;
+  return c;
+}
+
+IoRequest make_request(RequestId id, SimTime at, ObjectId object,
+                       std::uint64_t bytes, bool is_write = false) {
+  IoRequest r;
+  r.id = id;
+  r.arrival = at;
+  r.object = object;
+  r.size_bytes = bytes;
+  r.is_write = is_write;
+  return r;
+}
+
+TEST(RouterBugfix, OffloadSpreadsAcrossActiveNodes) {
+  Cluster cl(small_cluster());
+  const ObjectId object = 11;
+  const GroupId g = cl.placement().group_of(object);
+  for (NodeId n : cl.placement().replicas(g))
+    cl.node(n).complete_power_off(cl.node(n).begin_power_off(0));
+
+  RequestRouter router(cl, RouterConfig{});
+  // ~1.4 s of service per write keeps earlier targets busy, so the
+  // least-busy rule must rotate through the fleet.
+  const std::uint64_t bytes = std::uint64_t{200} << 20;
+  const int kWrites = 40;
+  std::map<NodeId, int> served;
+  SimTime first_completion = 0;
+  for (int i = 0; i < kWrites; ++i) {
+    const auto out = router.route(
+        make_request(i, 0, object, bytes, /*is_write=*/true), 0, nullptr);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_TRUE(out->offloaded);
+    if (i == 0) first_completion = out->completion;
+    ++served[out->served_by];
+  }
+  // 5 active nodes remain (8 minus 3 replicas); least-busy selection
+  // spreads the log appends across all of them instead of hammering
+  // the lowest id.
+  EXPECT_GE(served.size(), 4u);
+  for (const auto& [node, count] : served)
+    EXPECT_LE(count, kWrites / 2) << "hot-spotted node " << node;
+
+  // Offload completion uses the same rounded occupancy as busy_until
+  // (all disks share one config, so the service time is uniform).
+  const Seconds service = cl.node(0).disks()[0].service_time_s(bytes);
+  EXPECT_EQ(first_completion, static_cast<SimTime>(service + 0.5));
+}
+
+TEST(RouterBugfix, CompletionMatchesDiskOccupancy) {
+  Cluster cl(single_disk_cluster());
+  RequestRouter router(cl, RouterConfig{});
+  // Pick a size whose service time rounds up, so truncated completion
+  // would disagree with the rounded busy_until.
+  const std::uint64_t bytes = std::uint64_t{400} << 20;
+  const Seconds service = cl.node(0).disks()[0].service_time_s(bytes);
+  const SimTime rounded = static_cast<SimTime>(service + 0.5);
+  ASSERT_NE(rounded, static_cast<SimTime>(service));
+
+  SimTime prev_completion = 0;
+  for (int i = 0; i < 8; ++i) {
+    const auto out =
+        router.route(make_request(i, 0, 3, bytes), 0, nullptr);
+    ASSERT_TRUE(out.has_value());
+    // Single disk: request i begins exactly when i-1's occupancy ends,
+    // and the reported completion equals that occupancy boundary.
+    EXPECT_EQ(out->completion, prev_completion + rounded)
+        << "request " << i;
+    EXPECT_NEAR(out->latency_s,
+                static_cast<double>(prev_completion) + service, 1e-9);
+    prev_completion = out->completion;
+  }
+}
+
+TEST(RouterBugfix, ForcedWakeupChargesDiskClock) {
+  Cluster cl(single_disk_cluster());
+  cl.node(0).complete_power_off(cl.node(0).begin_power_off(0));
+  RequestRouter router(cl, RouterConfig{});
+  // The waker promises availability at now+120 but never flips the
+  // node on, so both requests serve via the fallback path.
+  const NodeWaker waker = [](GroupId, SimTime now) -> SimTime {
+    return now + 120;
+  };
+  const std::uint64_t bytes = std::uint64_t{400} << 20;
+  const auto& disk = cl.node(0).config().disk;
+  const Seconds service = disk.avg_seek_s +
+                          static_cast<double>(bytes) /
+                              disk.bandwidth_bytes_per_s;
+  const SimTime rounded = static_cast<SimTime>(service + 0.5);
+
+  const auto first =
+      router.route(make_request(1, 50, 3, bytes), 50, waker);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(first->forced_wakeup);
+  EXPECT_EQ(first->completion, 170 + rounded);
+
+  const auto second =
+      router.route(make_request(2, 50, 3, bytes), 50, waker);
+  ASSERT_TRUE(second.has_value());
+  // The fallback booked the first service on the replica's disk clock,
+  // so the second request queues behind it instead of seeing phantom
+  // free capacity.
+  EXPECT_EQ(second->completion, first->completion + rounded);
+  EXPECT_GT(second->latency_s, first->latency_s + service - 1.5);
+  EXPECT_NEAR(router.stats().busy_disk_seconds, 2.0 * service, 1e-9);
+  EXPECT_EQ(router.stats().forced_wakeups, 2u);
+}
+
+}  // namespace
+}  // namespace gm::storage
