@@ -8,8 +8,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+
 #include "bench_support.hpp"
 #include "core/engine.hpp"
+#include "workload/arrival_stream.hpp"
 #include "json_report.hpp"
 #include "core/mincost_flow.hpp"
 #include "energy/battery.hpp"
@@ -252,6 +256,113 @@ BENCHMARK(BM_GreenMatchPlanWeekSharded)
     ->Arg(1)
     ->Arg(8)
     ->Arg(80)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// The streaming admission fast path (PR10): a massive-fleet week in
+// open-system mode, arrivals pouring in at ~150*scale tasks/hour,
+// every admit/defer/reject taken by the cached-headroom ledger with
+// zero solver work. admission_tasks_per_s is sustained decision
+// throughput over the hot-path CPU alone (the slot replans around it
+// are the same work the closed-loop engine does and are timed by
+// BM_GreenMatchPlanWeek); the latency counters are the per-decision
+// wall quantiles. Compare against BM_AdmissionThroughputNaive at the
+// same Arg for the A/B in BENCH_PR10.json.
+void BM_AdmissionThroughput(benchmark::State& state) {
+  const int scale = static_cast<int>(state.range(0));
+  auto config = massive_fleet_config(scale);
+  gm::bench::use_shared_workload(config);
+  config.arrivals.enabled = true;
+  config.arrivals.rate_per_h = 150.0 * scale;
+  config.arrivals.seed = 9090;
+  double decisions = 0.0, wall_ms = 0.0, p50 = 0.0, p99 = 0.0;
+  for (auto _ : state) {
+    const auto r = core::run_experiment(config).result;
+    decisions += static_cast<double>(r.qos.admission_decisions);
+    wall_ms += r.scheduler.admission_decision_wall_ms;
+    p50 = r.scheduler.admission_decision_p50_us;
+    p99 = r.scheduler.admission_decision_p99_us;
+    benchmark::DoNotOptimize(r.qos.admission_decisions);
+  }
+  state.counters["admission_tasks_per_s"] =
+      benchmark::Counter(wall_ms > 0.0 ? decisions / (wall_ms / 1000.0)
+                                       : 0.0);
+  state.counters["decision_p50_us"] = benchmark::Counter(p50);
+  state.counters["decision_p99_us"] = benchmark::Counter(p99);
+}
+BENCHMARK(BM_AdmissionThroughput)
+    ->Arg(1)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// The replan-per-arrival strawman the fast path replaces: every
+// arrival re-runs the policy's full slot decision (a MinCostFlow
+// solve for GreenMatch) on the live context with the newcomer
+// appended. A couple dozen arrivals is plenty to price it — the
+// counters carry per-decision wall and the same tasks/sec metric.
+void BM_AdmissionThroughputNaive(benchmark::State& state) {
+  const int scale = static_cast<int>(state.range(0));
+  auto config = massive_fleet_config(scale);
+  gm::bench::use_shared_workload(config);
+  constexpr int kWarmSlots = 24;
+  constexpr std::size_t kArrivals = 24;
+
+  workload::ArrivalSpec spec;
+  spec.enabled = true;
+  spec.rate_per_h = 150.0 * scale;
+  spec.seed = 9090;
+  std::vector<double> decision_us;
+  double wall_ms_total = 0.0;
+  for (auto _ : state) {
+    core::SimulationEngine engine(config);
+    for (SlotIndex s = 0; s < kWarmSlots; ++s) engine.run_slot(s);
+    core::SlotContext ctx = engine.observe(kWarmSlots);
+
+    workload::ArrivalStream stream(
+        spec, config.cluster.placement.group_count);
+    std::vector<storage::BackgroundTask> arrivals;
+    stream.pull(0, 7 * 86400, arrivals);
+    arrivals.resize(std::min(arrivals.size(), kArrivals));
+
+    auto policy = core::make_policy(config.policy);
+    policy->initialize(engine.facts());
+    for (const auto& task : arrivals) {
+      core::PendingTask p;
+      p.task = task;
+      p.task.release = ctx.start;
+      p.task.deadline = ctx.start + static_cast<SimTime>(
+          task.work_s + spec.deadline_slack_s);
+      p.remaining_s = task.work_s;
+      ctx.pending.push_back(p);
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto decision = policy->decide(ctx);
+      const auto t1 = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(decision.run_tasks.size());
+      const double us =
+          std::chrono::duration<double, std::micro>(t1 - t0).count();
+      decision_us.push_back(us);
+      wall_ms_total += us / 1000.0;
+    }
+  }
+  std::sort(decision_us.begin(), decision_us.end());
+  const auto quant = [&](double q) {
+    if (decision_us.empty()) return 0.0;
+    const auto i = static_cast<std::size_t>(
+        q * static_cast<double>(decision_us.size() - 1));
+    return decision_us[i];
+  };
+  state.counters["admission_tasks_per_s"] = benchmark::Counter(
+      wall_ms_total > 0.0
+          ? static_cast<double>(decision_us.size()) /
+                (wall_ms_total / 1000.0)
+          : 0.0);
+  state.counters["decision_p50_us"] = benchmark::Counter(quant(0.5));
+  state.counters["decision_p99_us"] = benchmark::Counter(quant(0.99));
+}
+BENCHMARK(BM_AdmissionThroughputNaive)
+    ->Arg(1)
+    ->Arg(8)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 

@@ -420,6 +420,27 @@ AuditReport audit_run(const core::SimulationEngine& engine,
     report.checks.push_back(std::move(check));
   }
 
+  // --- open-system arrival accounting --------------------------------
+  // Every arrival the stream emitted is either admitted into the pool
+  // or explicitly booked as rejected (tasks still deferred at the run
+  // horizon are booked rejected at finalize). Degenerates to 0 == 0
+  // for closed-loop runs, so the check is unconditional.
+  report.checks.push_back(exact_count_check(
+      "admission.arrival_accounting", result.qos.arrivals_generated,
+      result.qos.arrivals_admitted + result.qos.arrivals_rejected,
+      "arrivals = admitted + rejected"));
+  {
+    AuditCheck check;
+    check.name = "admission.overflow_bound";
+    check.lhs = static_cast<double>(result.qos.arrivals_overflow_admits);
+    check.rhs = static_cast<double>(result.qos.arrivals_admitted);
+    check.tolerance = 0.0;
+    check.passed = result.qos.arrivals_overflow_admits <=
+                   result.qos.arrivals_admitted;
+    check.detail = "overflow admits are a subset of admitted arrivals";
+    report.checks.push_back(std::move(check));
+  }
+
   return report;
 }
 

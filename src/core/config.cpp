@@ -11,6 +11,8 @@ ExperimentConfig::ExperimentConfig() {
 void ExperimentConfig::validate() const {
   cluster.validate();
   workload.validate();
+  arrivals.validate();
+  admission.validate();
   policy.validate();
   battery.validate();
   GM_CHECK(panel_area_m2 >= 0.0, "negative panel area");

@@ -8,7 +8,9 @@
 #include <memory>
 #include <string>
 
+#include "core/admission.hpp"
 #include "core/policy.hpp"
+#include "workload/arrival_stream.hpp"
 #include "workload/generator.hpp"
 #include "energy/battery.hpp"
 #include "energy/forecast.hpp"
@@ -57,6 +59,19 @@ struct ExperimentConfig {
   // --- storage & grid ----------------------------------------------
   energy::BatteryConfig battery;  ///< capacity 0 disables the ESD
   energy::GridConfig grid;
+
+  // --- open-system arrivals ------------------------------------------
+  /// Streaming arrival process (`arrivals.*`). When enabled the engine
+  /// runs in open-system mode: background tasks come from this stream
+  /// at arrival time (admitted, deferred or rejected by the admission
+  /// controller below) instead of the pregenerated workload task pool.
+  /// Foreground requests, repairs and federation offloads are
+  /// unaffected. Disabled = closed-loop mode, bit-identical to
+  /// previous releases.
+  workload::ArrivalSpec arrivals;
+  /// Green-headroom admission controller (`admission.*`); only
+  /// consulted when `arrivals.enabled` (docs/admission.md).
+  AdmissionConfig admission;
 
   // --- scheduling ---------------------------------------------------
   PolicyConfig policy;

@@ -238,6 +238,36 @@ void apply_config(ExperimentConfig& config, const KeyValueConfig& kv) {
       "forecast.seed",
       static_cast<std::int64_t>(config.forecast_noise.seed)));
 
+  // --- open-system arrivals & admission ------------------------------
+  auto& ar = config.arrivals;
+  ar.enabled = kv.get_bool_or("arrivals.enabled", ar.enabled);
+  ar.rate_per_h = kv.get_double_or("arrivals.rate_per_h", ar.rate_per_h);
+  ar.seed = static_cast<std::uint64_t>(kv.get_int_or(
+      "arrivals.seed", static_cast<std::int64_t>(ar.seed)));
+  ar.mean_work_s =
+      kv.get_double_or("arrivals.mean_work_s", ar.mean_work_s);
+  ar.work_sigma = kv.get_double_or("arrivals.work_sigma", ar.work_sigma);
+  ar.deadline_slack_s = kv.get_double_or("arrivals.deadline_slack_s",
+                                         ar.deadline_slack_s);
+  ar.utilization =
+      kv.get_double_or("arrivals.utilization", ar.utilization);
+  ar.diurnal = kv.get_bool_or("arrivals.diurnal", ar.diurnal);
+  auto& ad = config.admission;
+  ad.horizon_slots = static_cast<int>(
+      kv.get_int_or("admission.horizon", ad.horizon_slots));
+  ad.battery_reserve_soc = kv.get_double_or(
+      "admission.battery_reserve_soc", ad.battery_reserve_soc);
+  if (const auto overflow = kv.get_string("admission.overflow")) {
+    if (*overflow == "grid")
+      ad.overflow = AdmissionOverflow::kGrid;
+    else if (*overflow == "reject")
+      ad.overflow = AdmissionOverflow::kReject;
+    else
+      throw InvalidArgument("admission.overflow must be 'grid' or "
+                            "'reject', got '" +
+                            *overflow + "'");
+  }
+
   // --- failure injection ---------------------------------------------
   if (const auto events = kv.get_string("failures.events"))
     config.node_failures = parse_failure_events(*events);
@@ -364,6 +394,28 @@ std::vector<std::pair<std::string, std::string>> config_echo(
   add("forecast.bias_at_1h", echo_num(c.forecast_noise.bias_at_1h));
   add("forecast.ar1_rho", echo_num(c.forecast_noise.ar1_rho));
   add("forecast.seed", std::to_string(c.forecast_noise.seed));
+  // Open-system keys are echoed only when the mode is on: closed-loop
+  // echoes (and the goldens that pin them) stay byte-identical to
+  // pre-arrival releases, same convention as solar.trace_csv and
+  // failures.events. The round-trip fixed point holds either way —
+  // a disabled config echoes nothing and re-applies to the defaults.
+  if (c.arrivals.enabled) {
+    add("arrivals.enabled", echo_bool(c.arrivals.enabled));
+    add("arrivals.rate_per_h", echo_num(c.arrivals.rate_per_h));
+    add("arrivals.seed", std::to_string(c.arrivals.seed));
+    add("arrivals.mean_work_s", echo_num(c.arrivals.mean_work_s));
+    add("arrivals.work_sigma", echo_num(c.arrivals.work_sigma));
+    add("arrivals.deadline_slack_s",
+        echo_num(c.arrivals.deadline_slack_s));
+    add("arrivals.utilization", echo_num(c.arrivals.utilization));
+    add("arrivals.diurnal", echo_bool(c.arrivals.diurnal));
+    add("admission.horizon", std::to_string(c.admission.horizon_slots));
+    add("admission.battery_reserve_soc",
+        echo_num(c.admission.battery_reserve_soc));
+    add("admission.overflow",
+        c.admission.overflow == AdmissionOverflow::kReject ? "reject"
+                                                           : "grid");
+  }
   if (!c.node_failures.empty())
     add("failures.events", echo_failure_events(c.node_failures));
   add("failures.repair_rate_bytes_per_s",
@@ -417,6 +469,11 @@ std::string config_keys_help() {
       "scheduler.shards (placement-group scheduling shards, default 1)\n"
       "sim.fidelity (slot|event), sim.slot_seconds, sim.dwell_slots,\n"
       "sim.drain_slots, sim.dvfs_eco_speed, sim.maid, sim.maid_min_disks\n"
+      "arrivals.enabled, arrivals.rate_per_h, arrivals.seed,\n"
+      "arrivals.mean_work_s, arrivals.work_sigma,\n"
+      "arrivals.deadline_slack_s, arrivals.utilization, arrivals.diurnal\n"
+      "admission.horizon, admission.battery_reserve_soc,\n"
+      "admission.overflow (grid|reject)\n"
       "forecast.noisy, forecast.error_at_1h, forecast.error_cap,\n"
       "forecast.bias_at_1h, forecast.ar1_rho, forecast.seed\n"
       "failures.events (node@fail_s@recover_s;... recover 0 = never),\n"

@@ -135,7 +135,15 @@ SimulationEngine::SimulationEngine(const ExperimentConfig& config,
       config_.duration() / config_.slot_length_s +
       config_.max_drain_slots + 1);
   fg_util_.assign(total_slots, 0.0);
-  slot_green_j_.resize(total_slots + config_.policy.horizon_slots + 1);
+  // In open-system mode the admission ledger may look further ahead
+  // than the planner; size the precomputed supply for the deeper of
+  // the two. Closed-loop sizing is unchanged.
+  const int supply_horizon =
+      config_.arrivals.enabled
+          ? std::max(config_.policy.horizon_slots,
+                     config_.admission.horizon_slots)
+          : config_.policy.horizon_slots;
+  slot_green_j_.resize(total_slots + supply_horizon + 1);
   for (std::size_t s = 0; s < slot_green_j_.size(); ++s) {
     const SimTime a = static_cast<SimTime>(s) * config_.slot_length_s;
     slot_green_j_[s] = supply_->energy_j(a, a + config_.slot_length_s);
@@ -150,6 +158,34 @@ SimulationEngine::SimulationEngine(const ExperimentConfig& config,
     if (s < fg_util_.size())
       fg_util_[s] += service * config_.foreground_cpu_factor /
                      static_cast<double>(config_.slot_length_s);
+  }
+
+  if (config_.arrivals.enabled) {
+    arrival_stream_ = std::make_unique<workload::ArrivalStream>(
+        config_.arrivals, config_.cluster.placement.group_count);
+    AdmissionController::Facts af;
+    af.slot_length_s = facts_.slot_length_s;
+    af.node_peak_w = facts_.node_peak_w;
+    af.node_idle_floor_w = facts_.node_idle_floor_w;
+    af.battery_usable_j = battery_.usable_capacity_j();
+    // Ledger inputs: forecast green supply per slot, and the baseline
+    // spend the cluster owes regardless of admission (coverage-floor
+    // idle energy + foreground dynamic energy).
+    admission_ = std::make_unique<AdmissionController>(
+        config_.admission, af,
+        [this](SlotIndex s) {
+          const auto i = static_cast<std::size_t>(s);
+          return i < slot_green_j_.size() ? slot_green_j_[i] : 0.0;
+        },
+        [this](SlotIndex s) {
+          const double slot_len =
+              static_cast<double>(config_.slot_length_s);
+          const Watts spread =
+              facts_.node_peak_w - facts_.node_idle_floor_w;
+          return power_.min_feasible() * facts_.node_idle_floor_w *
+                     slot_len +
+                 spread * slot_fg_util(s) * slot_len;
+        });
   }
 
   // Manifest first thing, so even an aborted run leaves its
@@ -168,7 +204,10 @@ SimulationEngine::SimulationEngine(const ExperimentConfig& config,
 }
 
 void SimulationEngine::admit_released_tasks(SimTime now) {
-  while (next_task_index_ < workload_->tasks.size() &&
+  // Open-system mode replaces the pregenerated background task pool
+  // with the arrival stream (intake_arrivals); repairs, offloads and
+  // federation injections are obligations and bypass admission.
+  while (!admission_ && next_task_index_ < workload_->tasks.size() &&
          workload_->tasks[next_task_index_].release <= now) {
     PendingTask p;
     p.task = workload_->tasks[next_task_index_++];
@@ -184,6 +223,82 @@ void SimulationEngine::admit_released_tasks(SimTime now) {
     p.policy_tag = policy_->admit(p.task);
     if (trace_events()) trace_task_admit(p.task, now, "offload");
     pending_.push_back(p);
+  }
+}
+
+void SimulationEngine::intake_arrivals(SlotIndex slot, SimTime start) {
+  GM_OBS_SCOPE("engine.intake_arrivals");
+  // Ledger upkeep, none of it on the per-arrival path: advance the
+  // ring (O(slots advanced)), patch revised forecasts (O(touched
+  // slots)), and reconcile commitments against the live pool now that
+  // the previous slot's plan has landed.
+  admission_->begin_slot(slot, battery_.stored_j());
+  if (config_.noisy_forecast) {
+    const SimTime slot_len = config_.slot_length_s;
+    for (int j = 0; j < admission_->horizon_slots(); ++j) {
+      const SimTime a = start + static_cast<SimTime>(j) * slot_len;
+      admission_->revise_supply(
+          slot + j, forecast_->forecast_mean_w(start, a, a + slot_len) *
+                        static_cast<double>(slot_len));
+    }
+  }
+  admission_->rebuild_commitments(pending_, start);
+
+  // Offer list: parked tasks first (older arrivals get first claim on
+  // headroom), then the stream pulled up to this boundary. Arrivals
+  // during slot s are decided at the s+1 boundary — the same release
+  // <= now convention the closed-loop admit path uses.
+  arrival_buf_.clear();
+  arrival_buf_.swap(deferred_arrivals_);
+  const std::size_t parked = arrival_buf_.size();
+  const SimTime cover_to = std::min(start, config_.duration());
+  if (cover_to > arrivals_covered_) {
+    arrival_stream_->pull(arrivals_covered_, cover_to, arrival_buf_);
+    arrivals_covered_ = cover_to;
+  }
+  arrivals_new_last_slot_ =
+      static_cast<std::uint64_t>(arrival_buf_.size() - parked);
+  arrivals_generated_ += arrivals_new_last_slot_;
+
+  const bool provenance = recorder_ && recorder_->provenance();
+  for (const auto& task : arrival_buf_) {
+    const AdmissionDecision d = admission_->decide(task, start);
+    if (provenance) {
+      obs::DecisionSample sample;
+      sample.slot = static_cast<std::int64_t>(slot);
+      sample.t = static_cast<double>(start);
+      sample.policy = "admission";
+      sample.task = static_cast<std::uint64_t>(task.id);
+      sample.action = d.action == AdmissionAction::kAdmit  ? "run"
+                      : d.action == AdmissionAction::kDefer ? "defer"
+                                                            : "drop";
+      sample.reason = d.reason;
+      sample.chosen_offset = d.chosen_offset;
+      sample.deadline_slack = static_cast<std::int64_t>(
+          (task.deadline - start) / config_.slot_length_s);
+      recorder_->record_decision(sample);
+    }
+    switch (d.action) {
+      case AdmissionAction::kAdmit: {
+        PendingTask p;
+        p.task = task;
+        p.remaining_s = task.work_s;
+        p.policy_tag = policy_->admit(p.task);
+        if (trace_events()) trace_task_admit(task, start, "arrival");
+        pending_.push_back(p);
+        break;
+      }
+      case AdmissionAction::kDefer:
+        deferred_arrivals_.push_back(task);
+        break;
+      case AdmissionAction::kReject:
+        if (trace_events())
+          recorder_->event("task_reject", static_cast<double>(start))
+              .set("task", static_cast<std::uint64_t>(task.id))
+              .set("reason", d.reason)
+              .set("work_s", task.work_s);
+        break;
+    }
   }
 }
 
@@ -257,6 +372,9 @@ const SlotContext& SimulationEngine::make_context(SlotIndex slot,
   ctx.battery_max_discharge_w = battery_.config().max_discharge_w();
   ctx.battery_charge_efficiency = battery_.config().charge_efficiency;
   ctx.currently_active_nodes = power_.active_count();
+  ctx.arrivals_new = arrivals_new_last_slot_;
+  ctx.arrivals_deferred_backlog =
+      static_cast<std::uint64_t>(deferred_arrivals_.size());
 
   const int horizon = std::max(1, config_.policy.horizon_slots);
   ctx.green_forecast_w.clear();
@@ -487,6 +605,7 @@ const SlotContext& SimulationEngine::observe(SlotIndex slot) {
   const std::size_t before = pending_.size();
   process_failures(start, slot);
   admit_released_tasks(start);
+  if (admission_) intake_arrivals(slot, start);
   tasks_admitted_ += pending_.size() - before;
   const auto by_deadline = [](const PendingTask& a,
                               const PendingTask& b) {
@@ -791,6 +910,28 @@ RunArtifacts SimulationEngine::finalize() {
   r.qos.tasks_completed = tasks_completed_;
   r.qos.deadline_misses = deadline_misses_;
   r.qos.tasks_unfinished = tasks_unfinished;
+  if (admission_) {
+    // Arrivals still parked at the horizon never entered the pool;
+    // book them as rejected so every generated arrival is accounted
+    // exactly once (audited: admission.arrival_accounting).
+    const AdmissionStats& st = admission_->stats();
+    r.qos.arrivals_generated = arrivals_generated_;
+    r.qos.arrivals_admitted = st.admitted;
+    r.qos.arrivals_rejected =
+        st.rejected +
+        static_cast<std::uint64_t>(deferred_arrivals_.size());
+    r.qos.arrivals_overflow_admits = st.overflow_admits;
+    r.qos.admission_decisions = st.decisions;
+    r.qos.admission_deferrals = st.deferred;
+    GM_ASSERT(r.qos.arrivals_generated ==
+              r.qos.arrivals_admitted + r.qos.arrivals_rejected);
+    if (trace_events())
+      for (const auto& task : deferred_arrivals_)
+        recorder_->event("task_reject", static_cast<double>(final_time))
+            .set("task", static_cast<std::uint64_t>(task.id))
+            .set("reason", "deferred-at-horizon")
+            .set("work_s", task.work_s);
+  }
   r.qos.mean_task_sojourn_h =
       tasks_completed_ > 0
           ? sojourn_hours_sum_ / static_cast<double>(tasks_completed_)
@@ -818,6 +959,16 @@ RunArtifacts SimulationEngine::finalize() {
   r.scheduler.assignment_failures = assignment_failures_;
   r.scheduler.nodes_failed = nodes_failed_;
   r.scheduler.mean_active_nodes = active_nodes_tw_.time_average();
+  if (admission_) {
+    r.scheduler.admission_decision_wall_ms =
+        admission_->stats().decision_wall_ms;
+    if (admission_->latency_us().count() > 0) {
+      r.scheduler.admission_decision_p50_us =
+          admission_->latency_us().quantile(0.50);
+      r.scheduler.admission_decision_p99_us =
+          admission_->latency_us().quantile(0.99);
+    }
+  }
   if (const auto* gm =
           dynamic_cast<const GreenMatchPolicy*>(policy_.get())) {
     r.scheduler.plan_solve_ms_total = gm->solve_ms_total();
@@ -926,6 +1077,23 @@ RunArtifacts SimulationEngine::finalize() {
     m.gauge_set("run.read_latency_p95_s", r.qos.read_latency_p95_s);
     m.gauge_set("run.battery_equivalent_cycles",
                 r.battery.equivalent_cycles);
+    // Admission fast-path telemetry: emitted only for open-system
+    // runs, so closed-loop metric dumps are unchanged byte for byte.
+    if (admission_) {
+      m.counter_set("admission.arrivals", r.qos.arrivals_generated);
+      m.counter_set("admission.admitted", r.qos.arrivals_admitted);
+      m.counter_set("admission.rejected", r.qos.arrivals_rejected);
+      m.counter_set("admission.overflow_admits",
+                    r.qos.arrivals_overflow_admits);
+      m.counter_set("admission.decisions", r.qos.admission_decisions);
+      m.counter_set("admission.deferrals", r.qos.admission_deferrals);
+      m.gauge_set("admission.decision_wall_ms",
+                  r.scheduler.admission_decision_wall_ms);
+      m.gauge_set("admission.decision_p50_us",
+                  r.scheduler.admission_decision_p50_us);
+      m.gauge_set("admission.decision_p99_us",
+                  r.scheduler.admission_decision_p99_us);
+    }
   }
   return std::move(artifacts_);
 }

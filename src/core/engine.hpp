@@ -19,9 +19,11 @@
 #include <memory>
 #include <vector>
 
+#include "core/admission.hpp"
 #include "core/config.hpp"
 #include "core/policy.hpp"
 #include "core/power_manager.hpp"
+#include "workload/arrival_stream.hpp"
 #include "energy/battery.hpp"
 #include "energy/forecast.hpp"
 #include "energy/grid.hpp"
@@ -120,6 +122,13 @@ class SimulationEngine {
   /// The validated config the run executed with (failure events
   /// sorted, unlike the constructor argument).
   const ExperimentConfig& config() const { return config_; }
+  /// Admission controller, or nullptr in closed-loop runs — exposed
+  /// for the throughput bench and the admission tests.
+  const AdmissionController* admission() const {
+    return admission_.get();
+  }
+  /// Arrivals the stream has emitted so far (open-system mode only).
+  std::uint64_t arrivals_generated() const { return arrivals_generated_; }
   /// Battery with its internal loss/throughput counters.
   const energy::Battery& battery() const { return battery_; }
   /// Grid meter: total import, carbon, cost.
@@ -133,6 +142,12 @@ class SimulationEngine {
   };
 
   void admit_released_tasks(SimTime now);
+  /// Open-system arrival intake at a slot boundary: advance the
+  /// headroom ledger, reconcile it against the live pool, re-offer
+  /// parked tasks, pull the stream up to `start`, and decide each
+  /// arrival (admit into pending_ / park / book a rejection). Only
+  /// called when arrivals.enabled.
+  void intake_arrivals(SlotIndex slot, SimTime start);
   /// Emits a task_admit trace event (caller checks trace_events()).
   void trace_task_admit(const storage::BackgroundTask& task, SimTime now,
                         const char* source);
@@ -223,6 +238,18 @@ class SimulationEngine {
   std::vector<NodeFailureEvent> pending_recoveries_;
   storage::TaskId next_repair_task_id_ = 2'000'000'000ULL;
   sim::TimeWeighted active_nodes_tw_;
+
+  // Open-system mode (arrivals.enabled); all null/empty otherwise.
+  std::unique_ptr<workload::ArrivalStream> arrival_stream_;
+  std::unique_ptr<AdmissionController> admission_;
+  /// Tasks the controller parked (defer) awaiting a wider ledger view.
+  std::vector<storage::BackgroundTask> deferred_arrivals_;
+  /// Per-slot offer list (re-offered parked tasks + fresh arrivals);
+  /// reused across slots.
+  std::vector<storage::BackgroundTask> arrival_buf_;
+  SimTime arrivals_covered_ = 0;  ///< stream pulled up to this time
+  std::uint64_t arrivals_generated_ = 0;
+  std::uint64_t arrivals_new_last_slot_ = 0;
 };
 
 /// Convenience wrapper: construct, run, return artifacts.

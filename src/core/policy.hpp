@@ -72,6 +72,13 @@ struct SlotContext {
   /// statistical demand estimate the original system would keep).
   std::vector<double> foreground_util_forecast;
   int currently_active_nodes = 0;
+  /// Open-system mode only (arrivals.enabled): arrivals decided at
+  /// this slot boundary and the tasks parked by the admission
+  /// controller awaiting a wider headroom view. Always 0 in
+  /// closed-loop runs; admitted arrivals appear in `pending` like any
+  /// other task (docs/admission.md).
+  std::uint64_t arrivals_new = 0;
+  std::uint64_t arrivals_deferred_backlog = 0;
   /// Pending tasks, sorted by deadline (earliest first).
   std::vector<PendingTask> pending;
 };

@@ -2,8 +2,25 @@
 
 #include <iomanip>
 #include <ostream>
+#include <sstream>
 
 namespace gm::metrics {
+
+// The admission stanza appears only for open-system runs: closed-loop
+// summaries (which the golden corpus pins byte-for-byte) are
+// unchanged. Counts only — never wall-clock latencies.
+std::string RunResult::admission_line() const {
+  if (qos.admission_decisions == 0 && qos.arrivals_generated == 0) {
+    return "";
+  }
+  std::ostringstream os;
+  os << "  admission:           " << qos.arrivals_generated
+     << " arrivals, " << qos.arrivals_admitted << " admitted ("
+     << qos.arrivals_overflow_admits << " overflow), "
+     << qos.arrivals_rejected << " rejected, "
+     << qos.admission_deferrals << " deferrals\n";
+  return os.str();
+}
 
 void RunResult::print_summary(std::ostream& out) const {
   const auto kwh = [](Joules j) { return j_to_kwh(j); };
@@ -30,6 +47,7 @@ void RunResult::print_summary(std::ostream& out) const {
       << qos.tasks_total << " completed, "
       << qos.deadline_misses << " deadline misses ("
       << qos.deadline_miss_rate() * 100.0 << " %)\n"
+      << admission_line()
       << "  read latency:        p50 " << qos.read_latency_p50_s * 1000.0
       << " ms, p95 " << qos.read_latency_p95_s * 1000.0 << " ms, p99 "
       << qos.read_latency_p99_s * 1000.0 << " ms\n"

@@ -35,6 +35,21 @@ struct QosReport {
   }
   /// Mean completion delay relative to release (hours).
   double mean_task_sojourn_h = 0.0;
+
+  // Open-system admission accounting (all zero in closed-loop runs).
+  // arrivals_generated = arrivals_admitted + arrivals_rejected is an
+  // audited invariant: every arrival the stream emits is either
+  // admitted into the pending pool or explicitly booked as rejected
+  // (tasks still deferred at the run horizon are booked rejected at
+  // finalize). See docs/admission.md.
+  std::uint64_t arrivals_generated = 0;
+  std::uint64_t arrivals_admitted = 0;
+  std::uint64_t arrivals_rejected = 0;
+  /// Subset of arrivals_admitted taken via the grid-overflow policy.
+  std::uint64_t arrivals_overflow_admits = 0;
+  /// Total admission decisions, including defer re-offers.
+  std::uint64_t admission_decisions = 0;
+  std::uint64_t admission_deferrals = 0;  ///< defer decisions
 };
 
 struct BatteryReport {
@@ -92,6 +107,13 @@ struct SchedulerReport {
   // Sharded-planner telemetry (zero when scheduler.shards = 1).
   std::uint64_t planner_shards = 0;
   std::uint64_t reconciliation_solves = 0;
+  // Admission fast-path telemetry (zero in closed-loop runs). Wall
+  // clock, so NOT printed by print_summary and not audited — surfaces
+  // via the metrics registry, bench counters and the greenmatch_sim
+  // admission stanza (docs/admission.md).
+  double admission_decision_wall_ms = 0.0;
+  double admission_decision_p50_us = 0.0;
+  double admission_decision_p99_us = 0.0;
 };
 
 struct RunResult {
@@ -120,6 +142,10 @@ struct RunResult {
 
   /// Human-readable multi-line summary.
   void print_summary(std::ostream& out) const;
+
+ private:
+  /// "  admission: ..." line, or "" for closed-loop runs.
+  std::string admission_line() const;
 };
 
 }  // namespace gm::metrics

@@ -1,0 +1,111 @@
+#include "workload/arrival_stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/distributions.hpp"
+#include "workload/spec.hpp"
+
+namespace gm::workload {
+
+namespace {
+// RNG lineage keys, disjoint from the workload generator's
+// 0x41/0x42/0x43 forks so enabling arrivals never perturbs the
+// closed-loop request/task streams.
+constexpr std::uint64_t kThinningFork = 0x51;
+constexpr std::uint64_t kDetailFork = 0x52;
+
+// Arrival mix: deferrable background types only (repairs stay the
+// exclusive province of the failure pipeline and its reserved id
+// range).
+constexpr storage::TaskType kArrivalTypes[] = {
+    storage::TaskType::kScrub, storage::TaskType::kRebalance,
+    storage::TaskType::kBackup, storage::TaskType::kCompaction};
+}  // namespace
+
+void ArrivalSpec::validate() const {
+  if (!enabled) return;
+  GM_CHECK(rate_per_h > 0.0, "arrivals.rate_per_h must be > 0");
+  GM_CHECK(mean_work_s > 0.0, "arrivals.mean_work_s must be > 0");
+  GM_CHECK(work_sigma >= 0.0, "arrivals.work_sigma must be >= 0");
+  GM_CHECK(deadline_slack_s >= 0.0,
+           "arrivals.deadline_slack_s must be >= 0");
+  GM_CHECK(utilization > 0.0 && utilization <= 1.0,
+           "arrivals.utilization must be in (0, 1]");
+}
+
+ArrivalStream::ArrivalStream(const ArrivalSpec& spec,
+                             std::uint32_t group_count)
+    : spec_(spec),
+      group_count_(group_count),
+      thinning_rng_(Rng(spec.seed).fork(kThinningFork)),
+      detail_rng_(Rng(spec.seed).fork(kDetailFork)),
+      diurnal_(ForegroundSpec{}.diurnal),
+      weekend_factor_(ForegroundSpec{}.weekend_factor) {
+  spec_.validate();
+  GM_CHECK(group_count_ > 0, "ArrivalStream needs >= 1 placement group");
+  base_rate_per_s_ = spec_.rate_per_h / 3600.0;
+  rate_max_ = spec_.diurnal
+                  ? base_rate_per_s_ * diurnal_.max_value() *
+                        std::max(1.0, weekend_factor_)
+                  : base_rate_per_s_;
+}
+
+double ArrivalStream::rate_at(double t) const {
+  if (!spec_.diurnal) return base_rate_per_s_;
+  const CalendarTime cal = calendar_of(static_cast<SimTime>(t));
+  const bool weekend = cal.day_of_week >= 5;
+  return base_rate_per_s_ * diurnal_(cal.hour) *
+         (weekend ? weekend_factor_ : 1.0);
+}
+
+void ArrivalStream::pull(SimTime t0, SimTime t1,
+                         std::vector<storage::BackgroundTask>& out) {
+  GM_CHECK(t1 >= t0, "ArrivalStream::pull needs t1 >= t0");
+  GM_CHECK(t0 >= window_end_,
+           "ArrivalStream::pull windows must be consecutive");
+  window_end_ = t1;
+  const double end = static_cast<double>(t1);
+  while (true) {
+    if (!has_candidate_) {
+      // Exactly the sample_nhpp jump; keeping the candidate across
+      // windows is what makes slicing invariant (a candidate at or
+      // past t1 is *not* thinned yet — the batch sampler only draws
+      // the acceptance uniform for candidates inside the horizon).
+      t_ += sample_exponential(thinning_rng_, rate_max_);
+      has_candidate_ = true;
+    }
+    if (t_ >= end) return;
+    has_candidate_ = false;
+    const double r = rate_at(t_);
+    GM_ASSERT_MSG(r <= rate_max_ * (1.0 + 1e-9),
+                  "arrival rate exceeds thinning majorant");
+    if (thinning_rng_.uniform() * rate_max_ < r) {
+      out.push_back(make_task(t_));
+    }
+  }
+}
+
+storage::BackgroundTask ArrivalStream::make_task(double t) {
+  storage::BackgroundTask task;
+  task.id = next_id_++;
+  task.type = kArrivalTypes[detail_rng_.uniform_u64(
+      sizeof(kArrivalTypes) / sizeof(kArrivalTypes[0]))];
+  task.release = static_cast<SimTime>(t);
+  // Same mean-preserving lognormal convention as the batch generator.
+  const double log_mu = std::log(spec_.mean_work_s) -
+                        0.5 * spec_.work_sigma * spec_.work_sigma;
+  task.work_s = std::max(
+      60.0, sample_lognormal(detail_rng_, log_mu, spec_.work_sigma));
+  task.deadline =
+      task.release +
+      static_cast<SimTime>(task.work_s + spec_.deadline_slack_s);
+  task.utilization = spec_.utilization;
+  task.group =
+      static_cast<std::uint32_t>(detail_rng_.uniform_u64(group_count_));
+  ++generated_;
+  return task;
+}
+
+}  // namespace gm::workload

@@ -1,0 +1,92 @@
+#pragma once
+// Streaming open-system arrivals. ArrivalStream is a lazily-evaluated
+// non-homogeneous Poisson process built on the same Lewis–Shedler
+// thinning scheme as sample_nhpp, but incremental: the engine pulls
+// the arrivals of one slot at a time and the stream carries the
+// in-flight exponential jump across window boundaries. That makes a
+// sequence of consecutive pull() windows emit *bit-identical* arrival
+// times to a single batch thinning pass over the whole horizon — the
+// property the open-system golden relies on (docs/admission.md).
+//
+// Configured through the `arrivals.*` config keys; disabled by
+// default, in which case the engine stays a closed-loop batch
+// simulator and behaves byte-identically to previous releases.
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/types.hpp"
+#include "util/math_utils.hpp"
+#include "util/rng.hpp"
+#include "util/time_types.hpp"
+#include "util/units.hpp"
+
+namespace gm::workload {
+
+/// Open-system arrival process parameters (`arrivals.*` keys).
+struct ArrivalSpec {
+  /// Master switch: false keeps the engine in closed-loop batch mode.
+  bool enabled = false;
+  /// Mean arrival rate in tasks per hour (peak-shaped when diurnal).
+  double rate_per_h = 60.0;
+  /// Seed of the stream's own RNG lineage (independent of the
+  /// workload generator seed so closed-loop replays are unaffected).
+  std::uint64_t seed = 7001;
+  /// Lognormal service-time parameters, same convention as
+  /// TaskClassSpec: mean_work_s is the distribution mean.
+  Seconds mean_work_s = 2.0 * 3600.0;
+  double work_sigma = 0.6;
+  /// Deadline = release + work + slack.
+  Seconds deadline_slack_s = 12.0 * 3600.0;
+  /// Per-task CPU utilization while running.
+  double utilization = 0.25;
+  /// Modulate the rate with the canonical foreground diurnal shape
+  /// (weekend dip included); false = homogeneous Poisson.
+  bool diurnal = true;
+
+  void validate() const;
+};
+
+/// Incremental NHPP task source. Construction fixes the whole stream;
+/// pull() windows must be consecutive and non-overlapping starting at
+/// t = 0 (the engine's slot loop satisfies this by construction).
+class ArrivalStream {
+ public:
+  /// Arrival task ids start here — disjoint from workload task ids
+  /// (small integers) and repair task ids (2'000'000'000+).
+  static constexpr storage::TaskId kFirstTaskId = 3'000'000'000ULL;
+
+  ArrivalStream(const ArrivalSpec& spec, std::uint32_t group_count);
+
+  /// Append every arrival with release time in [t0, t1) to `out`.
+  /// Deterministic in (spec, group_count) alone; invariant under how
+  /// the horizon is sliced into windows.
+  void pull(SimTime t0, SimTime t1,
+            std::vector<storage::BackgroundTask>& out);
+
+  /// Instantaneous arrival rate (tasks/second) at simulation time t.
+  double rate_at(double t) const;
+  /// Thinning majorant: rate_at(t) <= rate_max() for all t.
+  double rate_max() const { return rate_max_; }
+  /// Total arrivals emitted so far.
+  std::uint64_t generated() const { return generated_; }
+
+ private:
+  storage::BackgroundTask make_task(double t);
+
+  ArrivalSpec spec_;
+  std::uint32_t group_count_;
+  Rng thinning_rng_;
+  Rng detail_rng_;
+  PiecewiseLinear diurnal_;
+  double weekend_factor_ = 1.0;
+  double base_rate_per_s_ = 0.0;
+  double rate_max_ = 0.0;
+  double t_ = 0.0;              ///< current thinning position
+  bool has_candidate_ = false;  ///< t_ holds an undecided candidate
+  SimTime window_end_ = 0;      ///< end of the last pulled window
+  storage::TaskId next_id_ = kFirstTaskId;
+  std::uint64_t generated_ = 0;
+};
+
+}  // namespace gm::workload

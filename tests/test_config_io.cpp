@@ -190,7 +190,8 @@ TEST(ConfigIo, HelpMentionsEveryKeyFamily) {
   const std::string help = core::config_keys_help();
   for (const char* family :
        {"cluster.", "workload.", "solar.", "wind.", "battery.",
-        "policy.", "sim.", "forecast.", "grid."})
+        "policy.", "sim.", "forecast.", "grid.", "arrivals.",
+        "admission."})
     EXPECT_NE(help.find(family), std::string::npos) << family;
 }
 
@@ -350,6 +351,84 @@ TEST(ConfigIo, ScenarioKeysApplyAndEcho) {
   EXPECT_EQ(echoed(config, "scenario.failure_process"), "weibull");
   EXPECT_EQ(echoed(config, "scenario.spike_carbon_x"), "4");
   EXPECT_TRUE(config.scenario.any());
+}
+
+TEST(ConfigIo, ArrivalAndAdmissionKeysApplyAndEcho) {
+  auto config = core::ExperimentConfig::canonical();
+  core::apply_config(config, KeyValueConfig::parse(
+      "arrivals.enabled = true\n"
+      "arrivals.rate_per_h = 150\n"
+      "arrivals.seed = 8181\n"
+      "arrivals.mean_work_s = 5400\n"
+      "arrivals.work_sigma = 0.45\n"
+      "arrivals.deadline_slack_s = 21600\n"
+      "arrivals.utilization = 0.35\n"
+      "arrivals.diurnal = false\n"
+      "admission.horizon = 18\n"
+      "admission.battery_reserve_soc = 0.4\n"
+      "admission.overflow = reject\n"));
+  EXPECT_TRUE(config.arrivals.enabled);
+  EXPECT_DOUBLE_EQ(config.arrivals.rate_per_h, 150.0);
+  EXPECT_EQ(config.arrivals.seed, 8181u);
+  EXPECT_DOUBLE_EQ(config.arrivals.mean_work_s, 5400.0);
+  EXPECT_DOUBLE_EQ(config.arrivals.work_sigma, 0.45);
+  EXPECT_DOUBLE_EQ(config.arrivals.deadline_slack_s, 21600.0);
+  EXPECT_DOUBLE_EQ(config.arrivals.utilization, 0.35);
+  EXPECT_FALSE(config.arrivals.diurnal);
+  EXPECT_EQ(config.admission.horizon_slots, 18);
+  EXPECT_DOUBLE_EQ(config.admission.battery_reserve_soc, 0.4);
+  EXPECT_EQ(config.admission.overflow, core::AdmissionOverflow::kReject);
+
+  EXPECT_EQ(echoed(config, "arrivals.enabled"), "true");
+  EXPECT_EQ(echoed(config, "arrivals.seed"), "8181");
+  EXPECT_DOUBLE_EQ(std::stod(echoed(config, "arrivals.rate_per_h")), 150.0);
+  EXPECT_EQ(echoed(config, "admission.horizon"), "18");
+  EXPECT_EQ(echoed(config, "admission.overflow"), "reject");
+
+  // Echo -> apply -> echo fixed point over the new key families (the
+  // audit round-trip and manifest replay both lean on this).
+  auto replay = core::ExperimentConfig::canonical();
+  KeyValueConfig kv;
+  for (const auto& [k, v] : core::config_echo(config)) kv.set(k, v);
+  core::apply_config(replay, kv);
+  EXPECT_EQ(core::config_echo(replay), core::config_echo(config));
+}
+
+TEST(ConfigIo, ArrivalKeysAbsentFromClosedLoopEcho) {
+  // Closed-loop echoes must not grow new keys: old manifests, the
+  // golden corpus, and byte-stable summaries depend on it.
+  const auto config = core::ExperimentConfig::canonical();
+  EXPECT_FALSE(config.arrivals.enabled);
+  for (const auto& [k, v] : core::config_echo(config)) {
+    EXPECT_NE(k.rfind("arrivals.", 0), 0u) << k;
+    EXPECT_NE(k.rfind("admission.", 0), 0u) << k;
+  }
+  // The disabled state still round-trips: echo -> apply -> echo is a
+  // fixed point on both sides of the gate.
+  auto replay = core::ExperimentConfig::canonical();
+  KeyValueConfig kv;
+  for (const auto& [k, v] : core::config_echo(config)) kv.set(k, v);
+  core::apply_config(replay, kv);
+  EXPECT_EQ(core::config_echo(replay), core::config_echo(config));
+  EXPECT_FALSE(replay.arrivals.enabled);
+}
+
+TEST(ConfigIo, AdmissionRejectsBadValues) {
+  auto config = core::ExperimentConfig::canonical();
+  EXPECT_THROW(
+      core::apply_config(
+          config,
+          KeyValueConfig::parse("admission.overflow = shrug\n")),
+      InvalidArgument);
+  EXPECT_THROW(core::apply_config(
+                   config, KeyValueConfig::parse(
+                               "arrivals.enabled = true\n"
+                               "arrivals.rate_per_h = -5\n")),
+               InvalidArgument);
+  EXPECT_THROW(core::apply_config(
+                   config, KeyValueConfig::parse(
+                               "admission.battery_reserve_soc = 1.5\n")),
+               InvalidArgument);
 }
 
 TEST(ConfigIo, ScenarioRejectsBadValues) {

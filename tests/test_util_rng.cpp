@@ -248,6 +248,59 @@ TEST(Nhpp, EmptyIntervalYieldsNothing) {
   EXPECT_TRUE(
       sample_nhpp(rng, 5.0, 5.0, 1.0, [](double) { return 1.0; })
           .empty());
+  // Inverted windows are a caller bug and rejected loudly.
+  Rng rng2(73);
+  EXPECT_THROW(
+      sample_nhpp(rng2, 9.0, 5.0, 1.0, [](double) { return 1.0; }),
+      InvalidArgument);
+}
+
+TEST(Nhpp, RateHittingZeroMidWindowThinsEverythingThere) {
+  // rate drops to 0 on [400, 600): thinning must accept no arrival in
+  // the dead zone while still producing arrivals on both sides.
+  Rng rng(79);
+  const auto rate = [](double t) {
+    return (t >= 400.0 && t < 600.0) ? 0.0 : 2.0;
+  };
+  const auto arr = sample_nhpp(rng, 0.0, 1000.0, 2.0, rate);
+  ASSERT_FALSE(arr.empty());
+  bool before = false, after = false;
+  for (double t : arr) {
+    EXPECT_FALSE(t >= 400.0 && t < 600.0) << "arrival in zero-rate zone";
+    before |= t < 400.0;
+    after |= t >= 600.0;
+  }
+  EXPECT_TRUE(before);
+  EXPECT_TRUE(after);
+}
+
+TEST(Nhpp, TightRateMaxBoundAcceptsEveryCandidate) {
+  // When rate == rate_max everywhere, thinning accepts every
+  // candidate: the NHPP degenerates to a plain Poisson process whose
+  // count matches rate_max * |window|.
+  Rng rng(83);
+  double total = 0.0;
+  const int reps = 40;
+  for (int i = 0; i < reps; ++i)
+    total += static_cast<double>(
+        sample_nhpp(rng, 0.0, 500.0, 3.0, [](double) { return 3.0; })
+            .size());
+  EXPECT_NEAR(total / reps, 1500.0, 30.0);
+}
+
+TEST(Nhpp, CrossSeedDeterminismAndDivergence) {
+  const auto rate = [](double t) { return 1.0 + 0.5 * (t > 100.0); };
+  Rng a(89), b(89), c(97);
+  const auto ra = sample_nhpp(a, 0.0, 400.0, 1.5, rate);
+  const auto rb = sample_nhpp(b, 0.0, 400.0, 1.5, rate);
+  const auto rc = sample_nhpp(c, 0.0, 400.0, 1.5, rate);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i)
+    EXPECT_DOUBLE_EQ(ra[i], rb[i]);
+  bool differs = ra.size() != rc.size();
+  for (std::size_t i = 0; !differs && i < ra.size(); ++i)
+    differs = ra[i] != rc[i];
+  EXPECT_TRUE(differs);
 }
 
 // Determinism across all distributions, parameterized by seed.

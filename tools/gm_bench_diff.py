@@ -110,7 +110,8 @@ def main(argv=None):
         delta = (new - old) / old
         # Throughput counters are higher-is-better; everything else in
         # the reports is a duration.
-        worse = delta < 0 if "per_second" in metric else delta > 0
+        higher_is_better = "per_second" in metric or metric.endswith("_per_s")
+        worse = delta < 0 if higher_is_better else delta > 0
         mark = ""
         if abs(delta) > args.threshold:
             flagged += 1

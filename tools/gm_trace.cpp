@@ -48,7 +48,7 @@ const std::set<std::string>& known_kinds() {
   static const std::set<std::string> kinds = {
       "slot",      "phase",         "run_end",   "audit",
       "decision",  "task_admit",    "task_complete", "task_miss",
-      "node_fail", "node_repair",   "transfer"};
+      "task_reject", "node_fail",   "node_repair",   "transfer"};
   return kinds;
 }
 

@@ -209,6 +209,24 @@ int main(int argc, char** argv) {
               << "  rebuilds: " << s.solver_incremental_rebuilds << '\n';
         }
       }
+      // Admission fast-path stanza for open-system runs — gated on the
+      // recorder like the planner stanza, so plain summaries stay
+      // golden-identical (counts are in the summary's admission line;
+      // wall-clock latencies only ever appear here and in metrics).
+      const auto& q = artifacts.result.qos;
+      if (q.admission_decisions > 0) {
+        std::ostream& out = emit_slots ? std::cerr : std::cout;
+        out << "\nadmission telemetry:\n"
+            << "  decisions: " << q.admission_decisions
+            << "  admitted: " << q.arrivals_admitted
+            << "  deferrals: " << q.admission_deferrals
+            << "  rejected: " << q.arrivals_rejected
+            << "  overflow: " << q.arrivals_overflow_admits << '\n'
+            << "  decision latency: p50 "
+            << s.admission_decision_p50_us << " us, p99 "
+            << s.admission_decision_p99_us << " us, total "
+            << s.admission_decision_wall_ms << " ms\n";
+      }
     }
 
     if (emit_slots) {

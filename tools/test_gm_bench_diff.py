@@ -88,6 +88,35 @@ class GmBenchDiffTest(unittest.TestCase):
         self.assertEqual(code, 0)
         self.assertIn("<-- faster", out)
 
+    def test_per_s_suffix_metrics_are_higher_is_better(self):
+        base = self.write_report("base.json", [
+            record("BM_A_median", "admission_tasks_per_s", 1.0e6)])
+        cur = self.write_report("cur.json", [
+            record("BM_A_median", "admission_tasks_per_s", 2.0e6)])
+        code, out = self.run_diff(["--fail-on-regression", base, cur])
+        self.assertEqual(code, 0)
+        self.assertIn("<-- faster", out)
+
+    def test_per_s_suffix_drop_is_a_regression(self):
+        base = self.write_report("base.json", [
+            record("BM_A_median", "admission_tasks_per_s", 2.0e6)])
+        cur = self.write_report("cur.json", [
+            record("BM_A_median", "admission_tasks_per_s", 1.0e6)])
+        code, out = self.run_diff(["--fail-on-regression", base, cur])
+        self.assertEqual(code, 1)
+        self.assertIn("<-- slower", out)
+
+    def test_per_s_inside_name_is_not_throughput(self):
+        # Only the *suffix* flips direction: a duration metric that
+        # merely contains "per_s" elsewhere stays lower-is-better.
+        base = self.write_report("base.json", [
+            record("BM_A_median", "plan_ms_per_slot", 10.0)])
+        cur = self.write_report("cur.json", [
+            record("BM_A_median", "plan_ms_per_slot", 20.0)])
+        code, out = self.run_diff(["--fail-on-regression", base, cur])
+        self.assertEqual(code, 1)
+        self.assertIn("<-- slower", out)
+
     # ---- unmatched section (the PR 8 bugfix) -----------------------
 
     def test_unmatched_benches_are_reported_not_dropped(self):
